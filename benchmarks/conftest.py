@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure (or an ablation) and
+asserts the *shape* of the paper's result -- who wins, what dominates,
+where the zeros are -- rather than absolute numbers, per DESIGN.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def corpus_results():
+    """Analyze all 27 apps once per session (no dynamic validation)."""
+    from repro.corpus import all_apps
+    from repro.harness.table1 import analyze_corpus_app
+
+    return {spec.name: (spec, analyze_corpus_app(spec)) for spec in all_apps()}

@@ -1,0 +1,97 @@
+"""Ablation: the k in k-object-sensitive points-to (paper section 8.5/8.8).
+
+The paper uses k=2 "for balancing precision and scalability" and notes
+the k-value can be lowered at the cost of precision.  This bench sweeps
+k and checks the precision claim on a context-sensitive workload: the
+static-factory pattern stays imprecise at every k (its heap context is
+empty -- the paper's stated limitation), while constructor-allocated
+sessions are separated as soon as k >= 2.
+"""
+
+import pytest
+
+from repro.core import analyze_app, AnalysisConfig
+
+# Two wrappers whose Holder is allocated at ONE site inside the Wrapper
+# constructor; the holders are distinguishable only by the receiver
+# context, i.e. with k >= 2 heap naming.  The use touches the UI
+# wrapper's holder, the free the worker wrapper's.
+CTX_APP = """
+class Payload { void touch() { } }
+class Holder { Payload slot; }
+class Wrapper {
+  Holder holder;
+  Wrapper() {
+    holder = new Holder();
+    holder.slot = new Payload();
+  }
+}
+class A extends Activity {
+  Wrapper uiWrapper;
+  Wrapper workerWrapper;
+  void onCreate(Bundle b) {
+    uiWrapper = new Wrapper();
+    workerWrapper = new Wrapper();
+  }
+  void onClick(View v) {
+    Holder h = uiWrapper.holder;
+    Payload p = h.slot;
+    p.touch();
+  }
+  void onStop() {
+    Holder h = workerWrapper.holder;
+    h.slot = null;
+  }
+}
+"""
+
+# Same shape, but the wrappers come from a static factory: their contexts
+# are lost (the section 8.5 imprecision), so no k recovers the precision.
+FACTORY_APP = CTX_APP.replace(
+    "    uiWrapper = new Wrapper();\n    workerWrapper = new Wrapper();",
+    "    uiWrapper = Wrapper.make();\n    workerWrapper = Wrapper.make();",
+).replace(
+    "  Wrapper() {\n    holder = new Holder();\n    holder.slot = new Payload();\n  }",
+    "  Wrapper() {\n    holder = new Holder();\n    holder.slot = new Payload();\n  }\n"
+    "  static Wrapper make() { return new Wrapper(); }",
+)
+
+
+def warnings_at(source, k):
+    result = analyze_app(source, config=AnalysisConfig(k=k))
+    return [w for w in result.warnings if w.fieldref.field_name == "slot"]
+
+
+@pytest.mark.parametrize("k", [0, 1, 2, 3])
+def test_benchmark_k_sweep(benchmark, k):
+    result = benchmark(analyze_app, CTX_APP, config=AnalysisConfig(k=k))
+    assert result.program.module.sealed
+
+
+def test_k2_separates_constructor_contexts():
+    # imprecise at k<=1: the two payload allocations share a heap name
+    assert warnings_at(CTX_APP, 1), "k=1 must conflate the sessions"
+    # precise at k=2 (the paper's default)
+    assert not warnings_at(CTX_APP, 2), "k=2 must separate the sessions"
+
+
+def test_static_factory_stays_imprecise_at_every_k():
+    # section 8.5: objects created by a static method get no context
+    for k in (2, 3):
+        assert warnings_at(FACTORY_APP, k), (
+            f"k={k} cannot recover context lost through a static factory"
+        )
+
+
+def test_average_points_to_size_shrinks_with_k():
+    from repro.corpus import app
+    from repro.core import analyze_module
+
+    spec = app("music")
+    sizes = {}
+    for k in (0, 2):
+        module = spec.compile()
+        result = analyze_module(module, spec.manifest_for(module),
+                                AnalysisConfig(k=k))
+        sizes[k] = result.pointsto.average_pts_size()
+    assert sizes[2] <= sizes[0]

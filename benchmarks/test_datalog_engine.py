@@ -1,0 +1,66 @@
+"""Substrate benchmark: the Datalog engine (Chord's bddbddb stand-in).
+
+Times semi-naive transitive closure and the full race-rule solve, and
+checks the semi-naive evaluation scales past what a naive engine would.
+"""
+
+import pytest
+
+from repro.corpus import app
+from repro.datalog import datalog_racy_pairs, Literal, Program, query, vars_
+from repro.harness.table1 import analyze_corpus_app
+
+
+def chain_closure_program(n):
+    X, Y, Z = vars_("X Y Z")
+    program = Program()
+    program.add_facts("edge", [(i, i + 1) for i in range(n)])
+    program.rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+    program.rule(
+        Literal("path", (X, Z)),
+        Literal("path", (X, Y)), Literal("edge", (Y, Z)),
+    )
+    return program
+
+
+def test_benchmark_transitive_closure_chain(benchmark):
+    program = chain_closure_program(60)
+    paths = benchmark(query, program, "path")
+    assert len(paths) == 60 * 61 // 2
+
+
+def test_benchmark_race_rules_on_firefox(benchmark):
+    spec = app("firefox")
+    result = analyze_corpus_app(spec)
+
+    pairs = benchmark(
+        datalog_racy_pairs, result.program, result.pointsto
+    )
+    assert pairs == {w.key for w in result.warnings}
+
+
+def test_closure_is_complete_on_dense_graph():
+    import random
+
+    rng = random.Random(7)
+    n = 25
+    edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(120)}
+    X, Y, Z = vars_("X Y Z")
+    program = Program().add_facts("edge", edges)
+    program.rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+    program.rule(
+        Literal("path", (X, Z)),
+        Literal("path", (X, Y)), Literal("edge", (Y, Z)),
+    )
+    paths = query(program, "path")
+    # reference closure via adjacency matrix powers
+    reach = {(a, b) for a, b in edges}
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(reach):
+            for (c, d) in edges:
+                if b == c and (a, d) not in reach:
+                    reach.add((a, d))
+                    changed = True
+    assert paths == reach

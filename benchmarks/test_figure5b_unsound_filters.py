@@ -1,0 +1,45 @@
+"""Figure 5(b): effectiveness of the unsound filters over the warnings
+surviving the sound filters.
+
+Paper reference: mayHB 13%, MA 26%, UR 29%, TT 15% individually; combined
+the unsound filters remove 70% of the sound survivors.  Shape asserted:
+UR > MA > TT > mayHB and a combined removal near two thirds.
+"""
+
+import pytest
+
+from repro.harness import render_figure5, run_figure5
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_figure5()
+
+
+def test_unsound_filters_rank_order(figure5):
+    ur = figure5.unsound_fraction("UR")
+    ma = figure5.unsound_fraction("MA")
+    tt = figure5.unsound_fraction("TT")
+    mayhb = figure5.mayhb_fraction
+    assert ur > ma > tt >= mayhb, (ur, ma, tt, mayhb)
+
+
+def test_unsound_combined_removes_majority_of_survivors(figure5):
+    # paper: 70%
+    assert 0.5 <= figure5.unsound_combined_fraction <= 0.9
+
+
+def test_each_unsound_family_contributes(figure5):
+    assert figure5.mayhb_combined > 0
+    for name in ("MA", "UR", "TT"):
+        assert figure5.unsound_individual[name] > 0, f"{name} never fires"
+    # within mayHB, every constituent filter fires somewhere
+    for name in ("RHB", "CHB", "PHB"):
+        assert figure5.unsound_individual[name] > 0, f"{name} never fires"
+
+
+def test_figure5b_report(figure5, capsys):
+    with capsys.disabled():
+        print()
+        print(render_figure5(figure5).split("\n\n")[1])
+        print("(paper: mayHB 13%, MA 26%, UR 29%, TT 15%, combined 70%)")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1: three real harmful UAF shapes, detected
+statically and then confirmed dynamically by schedule search.
+
+(a) ConnectBot: single-threaded EC-PC UAF (service disconnect vs menu)
+(b) ConnectBot: PC-PC UAF (a guard checked on the looper, the use
+    deferred into a posted Runnable)
+(c) FireFox: C-NT UAF (an if-guard without atomicity against a thread
+    pool free)
+
+Run:  python examples/fig1_uaf_examples.py
+"""
+
+from repro.corpus import app
+from repro.core import analyze_module
+from repro.runtime import Simulator, validate_warning
+
+
+def confirm(app_name: str, field: str) -> None:
+    spec = app(app_name)
+    module = spec.compile()
+    result = analyze_module(module, spec.manifest_for(module))
+    program = result.program
+
+    survivors = [
+        w for w in result.remaining() if w.fieldref.field_name == field
+    ]
+    assert survivors, f"{app_name}.{field}: not reported"
+    warning = survivors[0]
+    print(f"== {app_name}: potential UAF on {field} "
+          f"[{warning.pair_type()}] ==")
+    print(warning.describe(program.forest))
+
+    def make_sim():
+        return Simulator(program.module, program.manifest)
+
+    verdict = validate_warning(make_sim, warning)
+    assert verdict.confirmed, f"{app_name}.{field}: no crashing schedule found"
+    print(f"confirmed harmful after {verdict.schedules_tried} schedules:")
+    print(f"  {verdict.exception}")
+    print("  event trace: " + " -> ".join(verdict.trace[-6:]))
+    print()
+
+
+def main() -> None:
+    confirm("connectbot", "bound")        # Figure 1(a), EC-PC
+    confirm("connectbot", "hostBridge")   # Figure 1(b), PC-PC
+    confirm("firefox", "jClient")         # Figure 1(c), C-NT
+    print("all three Figure 1 bugs detected and dynamically confirmed")
+
+
+if __name__ == "__main__":
+    main()

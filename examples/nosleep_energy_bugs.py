@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The section-9 extension: no-sleep energy bugs as ordering violations.
+
+A voice recorder acquires a WakeLock when recording starts.  The release
+lives in ``onPause`` -- but whether it runs after the acquire depends on
+the event order (the user can keep recording in the foreground forever),
+so the API pair is *racy*.  Moving the release to ``onDestroy`` gives a
+must-happens-after guarantee and silences the report; deleting it
+entirely upgrades the finding to a definite leak.
+
+Run:  python examples/nosleep_energy_bugs.py
+"""
+
+from repro.analysis import run_pointsto
+from repro.extensions import detect_nosleep, LEAKED, RACY_RELEASE
+from repro.lowering import compile_app
+from repro.threadify import threadify
+
+RECORDER = """
+class RecorderActivity extends Activity {{
+  PowerManager powerManager;
+  WakeLock recordingLock;
+  View recordButton;
+
+  void onCreate(Bundle b) {{
+    super.onCreate(b);
+    recordingLock = powerManager.newWakeLock(1, "recording");
+    recordButton = findViewById(1);
+    recordButton.setOnClickListener(new OnClickListener() {{
+      public void onClick(View v) {{
+        recordingLock.acquire();
+      }}
+    }});
+  }}
+{release_site}
+}}
+"""
+
+
+def report(variant: str, release_site: str):
+    module = compile_app(RECORDER.format(release_site=release_site),
+                         seal=False)
+    program = threadify(module)
+    warnings = detect_nosleep(program, run_pointsto(program.module))
+    print(f"== {variant} ==")
+    if not warnings:
+        print("clean: every acquire has a guaranteed release\n")
+    else:
+        for warning in warnings:
+            print(warning.describe(program))
+        print()
+    return warnings
+
+
+def main() -> None:
+    leaked = report("no release anywhere", "")
+    assert leaked and leaked[0].severity == LEAKED
+
+    racy = report(
+        "release in onPause (racy)",
+        """
+  void onPause() {
+    super.onPause();
+    recordingLock.release();
+  }
+""",
+    )
+    assert racy and racy[0].severity == RACY_RELEASE
+
+    clean = report(
+        "release in onDestroy (guaranteed)",
+        """
+  void onDestroy() {
+    super.onDestroy();
+    recordingLock.release();
+  }
+""",
+    )
+    assert not clean
+    print("ordering contracts generalize the UAF machinery, as section 9 "
+          "suggests")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""A tour of threadification (the paper's Figure 3).
+
+Compiles an app exercising all five callback families -- lifecycle entry
+callbacks, imperatively registered UI/system listeners, Handler posts,
+Service/Receiver registrations, and an AsyncTask -- and prints the
+resulting thread forest with poster -> postee lineage.
+
+Run:  python examples/threadification_tour.py
+"""
+
+from repro.lowering import compile_app
+from repro.threadify import threadify, ThreadKind
+
+APP = """
+class MainActivity extends Activity implements LocationListener {
+  Handler handler;
+  View button;
+  LocationManager locationManager;
+
+  void onCreate(Bundle b) {
+    super.onCreate(b);
+    handler = new UiHandler();
+    button = findViewById(1);
+    button.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        handler.sendEmptyMessage(1);
+        handler.post(new Runnable() {
+          public void run() { Log.d("tour", "posted"); }
+        });
+      }
+    });
+    locationManager.requestLocationUpdates("gps", 0, 0, this);
+  }
+
+  void onStart() {
+    super.onStart();
+    bindService(new Intent("svc"), new ServiceConnection() {
+      public void onServiceConnected(ComponentName n, IBinder s) { }
+      public void onServiceDisconnected(ComponentName n) { }
+    }, 0);
+  }
+
+  void onLocationChanged(Location location) {
+    new UploadTask().execute();
+  }
+}
+
+class UiHandler extends Handler {
+  public void handleMessage(Message msg) { }
+}
+
+class UploadTask extends AsyncTask {
+  void onPreExecute() { }
+  void doInBackground() { publishProgress(); }
+  void onProgressUpdate() { }
+  void onPostExecute() { }
+}
+"""
+
+KIND_TAGS = {
+    ThreadKind.DUMMY_MAIN: "main",
+    ThreadKind.ENTRY_CALLBACK: "EC",
+    ThreadKind.POSTED_CALLBACK: "PC",
+    ThreadKind.NATIVE_THREAD: "thread",
+    ThreadKind.ASYNC_BACKGROUND: "async-bg",
+}
+
+
+def main() -> None:
+    module = compile_app(APP, seal=False)
+    program = threadify(module)
+    forest = program.forest
+
+    def show(node, depth: int = 0) -> None:
+        tag = KIND_TAGS[node.kind]
+        label = (
+            "dummy main (initial looper)"
+            if node.kind is ThreadKind.DUMMY_MAIN
+            else f"{node.receiver_class}.{node.method_name}"
+        )
+        extra = f"  [{node.category.name}]" if node.category else ""
+        print("  " * depth + f"- [{tag}] {label}{extra}")
+        for child in forest.children(node):
+            show(child, depth + 1)
+
+    show(forest.dummy_main)
+    counts = forest.counts()
+    print(f"\nmodel sizes: EC={counts['EC']} PC={counts['PC']} T={counts['T']}")
+    assert counts["EC"] >= 4 and counts["PC"] >= 5 and counts["T"] >= 2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` can fall back to setuptools' legacy editable mode in
+environments without the ``wheel`` package (modern PEP-660 editable
+installs need it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Chord-style static analyses over the threadified IR (paper section 5)."""
+
+from .callgraph import (
+    build_cha_callgraph,
+    CallGraph,
+    dispatch_targets,
+    instantiated_classes,
+)
+from .dataflow import ForwardDataflow, run_forward
+from .escape import compute_escaping, multi_region_objects, static_reachable
+from .lockset import LocksetAnalysis
+from .mhp import may_happen_in_parallel
+from .pointsto import (
+    Context,
+    HeapObject,
+    PointsToAnalysis,
+    PointsToResult,
+    run_pointsto,
+)
+
+__all__ = [
+    "build_cha_callgraph", "CallGraph", "compute_escaping", "Context",
+    "dispatch_targets", "ForwardDataflow", "HeapObject",
+    "instantiated_classes", "LocksetAnalysis", "may_happen_in_parallel",
+    "multi_region_objects", "PointsToAnalysis", "PointsToResult",
+    "run_forward", "run_pointsto", "static_reachable",
+]

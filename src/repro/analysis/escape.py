@@ -1,0 +1,65 @@
+"""Thread-escape analysis.
+
+Chord restricts race candidates to objects that escape their creating
+thread.  In the threadified program an abstract object escapes when it is
+
+* reachable from a static field (including the synthetic ``$Registry``
+  channels through which every posted callback flows), or
+* held by locals of methods belonging to at least two distinct thread
+  regions (e.g. an Activity instance shared by its lifecycle callbacks).
+
+The race detector uses the result as a cheap pre-filter; disabling it is
+one of the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set, TYPE_CHECKING
+
+from .pointsto import HeapObject, PointsToResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..threadify.transform import ThreadifiedProgram
+
+
+def static_reachable(pointsto: PointsToResult) -> Set[HeapObject]:
+    """Objects transitively reachable from any static field."""
+    reached: Set[HeapObject] = set()
+    work = [obj for objs in pointsto.static_pts.values() for obj in objs]
+    while work:
+        obj = work.pop()
+        if obj in reached:
+            continue
+        reached.add(obj)
+        for (base, _ref), objs in pointsto.field_pts.items():
+            if base == obj:
+                for succ in objs:
+                    if succ not in reached:
+                        work.append(succ)
+    return reached
+
+
+def multi_region_objects(
+    pointsto: PointsToResult, program: "ThreadifiedProgram"
+) -> Set[HeapObject]:
+    """Objects held by locals in two or more distinct thread regions."""
+    owner_nodes: Dict[HeapObject, Set[int]] = defaultdict(set)
+    method_nodes: Dict[str, Set[int]] = defaultdict(set)
+    for node_id, region in program.regions.items():
+        for qname in region:
+            method_nodes[qname].add(node_id)
+    for (qname, _ctx, _local), objs in pointsto.var_pts.items():
+        nodes = method_nodes.get(qname)
+        if not nodes:
+            continue
+        for obj in objs:
+            owner_nodes[obj] |= nodes
+    return {obj for obj, nodes in owner_nodes.items() if len(nodes) >= 2}
+
+
+def compute_escaping(
+    pointsto: PointsToResult, program: "ThreadifiedProgram"
+) -> Set[HeapObject]:
+    """All escaping abstract objects (union of both escape conditions)."""
+    return static_reachable(pointsto) | multi_region_objects(pointsto, program)

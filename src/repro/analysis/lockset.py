@@ -1,0 +1,81 @@
+"""Lockset analysis (paper section 5/6.1).
+
+nAdroid ignores locks for *detection* (locks provide atomicity, not
+ordering) but uses Chord's lockset analysis *selectively* inside the
+If-Guard and Intra-Allocation filters: a guard is only trustworthy across
+threads when the use and the free hold a common lock.
+
+The analysis is a must-analysis: a lock is in the set at a program point
+only if it is held on **every** path there.  Lock identity is resolved
+through points-to; two sites hold a *common lock* when some singleton
+abstract lock object is must-held at both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..ir import Instruction, Local, Method, Module, MonitorEnter, MonitorExit
+from .dataflow import run_forward
+from .pointsto import HeapObject, PointsToResult
+
+#: A held lock: the frozen points-to set of the monitor operand.
+LockToken = FrozenSet[HeapObject]
+LockState = FrozenSet[LockToken]
+
+
+class LocksetAnalysis:
+    """Compute must-held locksets for every instruction of a module."""
+
+    def __init__(self, module: Module, pointsto: PointsToResult) -> None:
+        self.module = module
+        self.pointsto = pointsto
+        self._cache: Dict[str, Dict[int, LockState]] = {}
+
+    def _lock_token(self, method: Method, operand: Local) -> Optional[LockToken]:
+        objs = self.pointsto.pts(method.qualified_name, operand.name)
+        if not objs:
+            return None
+        return frozenset(objs)
+
+    def _method_locks(self, method: Method) -> Dict[int, LockState]:
+        qname = method.qualified_name
+        if qname in self._cache:
+            return self._cache[qname]
+
+        def transfer(instr: Instruction, state: LockState) -> LockState:
+            if isinstance(instr, MonitorEnter):
+                token = self._lock_token(method, instr.lock)
+                if token is not None:
+                    return state | {token}
+            elif isinstance(instr, MonitorExit):
+                token = self._lock_token(method, instr.lock)
+                if token is not None:
+                    return state - {token}
+            return state
+
+        def join(a: LockState, b: LockState) -> LockState:
+            return a & b  # must-analysis: intersect at merges
+
+        entry: LockState = frozenset()
+        result = run_forward(method, entry, transfer, join)
+        self._cache[qname] = result
+        return result
+
+    def locks_at(self, uid: int) -> LockState:
+        """Must-held locks immediately before the instruction with ``uid``."""
+        method = self.module.method_of(uid)
+        return self._method_locks(method).get(uid, frozenset())
+
+    def common_lock(self, uid_a: int, uid_b: int) -> bool:
+        """Do two program points must-hold a common concrete lock?
+
+        Requires a *singleton* abstract lock object present in a held token
+        at both points -- the must-alias condition that makes the common
+        lock sound.
+        """
+        locks_a = self.locks_at(uid_a)
+        locks_b = self.locks_at(uid_b)
+        singletons_a = {next(iter(t)) for t in locks_a if len(t) == 1}
+        singletons_b = {next(iter(t)) for t in locks_b if len(t) == 1}
+        return bool(singletons_a & singletons_b)

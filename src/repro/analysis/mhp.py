@@ -1,0 +1,36 @@
+"""May-Happen-in-Parallel analysis over the thread forest.
+
+The paper *disables* Chord's MHP analysis (section 5): blocking
+synchronization is rare in Android code and flow-sensitive MHP scales
+poorly; the Android-specific happens-before filters replace it.  We
+implement a forest-structural MHP anyway so the ablation benchmark can
+quantify that design decision.
+
+Rule: a poster's instructions happen before everything its posted/spawned
+descendants run (fork edges order parent-past against child), so a node
+never runs in parallel with itself, and an ancestor's *post-free* code is
+ordered before its descendants.  Lacking flow sensitivity we conservatively
+treat ancestor/descendant pairs as ordered only when the descendant is a
+posted callback on the same looper (atomic callbacks cannot interleave
+with their poster); everything else may happen in parallel.
+"""
+
+from __future__ import annotations
+
+from ..threadify.model import ThreadForest, ThreadNode
+
+
+def may_happen_in_parallel(
+    forest: ThreadForest, a: ThreadNode, b: ThreadNode
+) -> bool:
+    """Conservative forest-structural MHP."""
+    if a is b:
+        # Callbacks on one looper are atomic and cannot overlap themselves;
+        # a native thread class could be spawned twice, so it may self-race.
+        return a.is_native
+    # Same-looper posted callback vs its poster: strictly ordered
+    # (poster completes before the postee is dispatched).
+    if forest.same_looper(a, b):
+        if b in a.ancestors() or a in b.ancestors():
+            return False
+    return True

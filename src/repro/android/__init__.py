@@ -1,0 +1,52 @@
+"""Android framework model: stub classes, API semantics, callback catalog,
+lifecycle automaton and manifest handling."""
+
+from .api import API_TABLE, ApiKind, ApiSpec, CANCEL_KINDS, POSTING_KINDS, lookup_api
+from .callbacks import (
+    ACTIVITY_ENTRY_CALLBACKS,
+    ACTIVITY_LIFECYCLE,
+    APPLICATION_LIFECYCLE,
+    CallbackCategory,
+    categorize_entry_callback,
+    PC_CATEGORY_BY_CALLBACK,
+    SERVICE_LIFECYCLE,
+    SYSTEM_CALLBACKS,
+    UI_CALLBACKS,
+)
+from .framework import (
+    build_framework_classes,
+    FRAMEWORK_CLASS_NAMES,
+    FRAMEWORK_SPEC,
+    install_framework,
+    is_framework_class,
+)
+from .lifecycle import (
+    ACTIVE_STATES,
+    ACTIVITY_MHB,
+    activity_mhb,
+    ACTIVITY_TRANSITIONS,
+    ASYNCTASK_MHB,
+    SERVICE_CONNECTION_MHB,
+    SERVICE_MHB,
+    SERVICE_TRANSITIONS,
+    sound_mhb_pairs,
+)
+from .manifest import (
+    ComponentDecl,
+    component_kind_of,
+    infer_manifest,
+    Manifest,
+)
+
+__all__ = [
+    "ACTIVE_STATES", "ACTIVITY_ENTRY_CALLBACKS", "ACTIVITY_LIFECYCLE",
+    "ACTIVITY_MHB", "activity_mhb", "ACTIVITY_TRANSITIONS", "API_TABLE",
+    "ApiKind", "ApiSpec", "APPLICATION_LIFECYCLE", "ASYNCTASK_MHB",
+    "build_framework_classes", "CallbackCategory", "CANCEL_KINDS",
+    "categorize_entry_callback", "component_kind_of", "ComponentDecl",
+    "FRAMEWORK_CLASS_NAMES", "FRAMEWORK_SPEC", "infer_manifest",
+    "install_framework", "is_framework_class", "lookup_api", "Manifest",
+    "PC_CATEGORY_BY_CALLBACK", "POSTING_KINDS", "SERVICE_CONNECTION_MHB",
+    "SERVICE_LIFECYCLE", "SERVICE_MHB", "SERVICE_TRANSITIONS",
+    "sound_mhb_pairs", "SYSTEM_CALLBACKS", "UI_CALLBACKS",
+]

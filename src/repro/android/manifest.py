@@ -1,0 +1,105 @@
+"""Application manifest model.
+
+The manifest names the app's components and whether each is reachable
+through an (explicit or implicit) intent.  Unreachable components matter
+for the evaluation: warnings whose use or free lives in an unreachable
+component are one of the paper's false-positive categories ("Not
+Reachable", section 8.5).
+
+A manifest can be given explicitly by a corpus app or inferred from the
+class table (every subclass of Activity / Service / BroadcastReceiver /
+Application is a reachable component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..ir import Module
+from .framework import is_framework_class
+
+COMPONENT_KINDS = ("activity", "service", "receiver", "application")
+
+_SUPER_TO_KIND = {
+    "Activity": "activity",
+    "Service": "service",
+    "BroadcastReceiver": "receiver",
+    "Application": "application",
+}
+
+
+@dataclass
+class ComponentDecl:
+    """One declared component."""
+
+    name: str
+    kind: str
+    reachable: bool = True
+    main: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMPONENT_KINDS:
+            raise ValueError(f"unknown component kind {self.kind!r}")
+
+
+@dataclass
+class Manifest:
+    """All components of one application."""
+
+    package: str = "app"
+    components: Dict[str, ComponentDecl] = field(default_factory=dict)
+
+    def add(self, decl: ComponentDecl) -> ComponentDecl:
+        self.components[decl.name] = decl
+        return decl
+
+    def component(self, class_name: str) -> Optional[ComponentDecl]:
+        return self.components.get(class_name)
+
+    def is_reachable(self, class_name: str) -> bool:
+        decl = self.components.get(class_name)
+        return decl.reachable if decl is not None else True
+
+    def iter_kind(self, kind: str) -> Iterator[ComponentDecl]:
+        return (c for c in self.components.values() if c.kind == kind)
+
+    def activities(self) -> Iterator[ComponentDecl]:
+        return self.iter_kind("activity")
+
+    def services(self) -> Iterator[ComponentDecl]:
+        return self.iter_kind("service")
+
+    def receivers(self) -> Iterator[ComponentDecl]:
+        return self.iter_kind("receiver")
+
+
+def component_kind_of(module: Module, class_name: str) -> Optional[str]:
+    """Which component kind (if any) a class is, via its supertype chain."""
+    for sup in module.supertypes(class_name):
+        if sup in _SUPER_TO_KIND:
+            return _SUPER_TO_KIND[sup]
+    return _SUPER_TO_KIND.get(class_name)
+
+
+def infer_manifest(module: Module, package: str = "app") -> Manifest:
+    """Build a manifest by scanning the class table for component classes.
+
+    All inferred components are reachable; corpus apps that want an
+    unreachable component (to exercise the Not-Reachable FP category)
+    supply an explicit manifest instead.
+    """
+    manifest = Manifest(package=package)
+    first_activity = True
+    for name in module.classes:
+        if is_framework_class(name):
+            continue
+        kind = component_kind_of(module, name)
+        if kind is not None:
+            manifest.add(
+                ComponentDecl(name, kind, reachable=True,
+                              main=(kind == "activity" and first_activity))
+            )
+            if kind == "activity":
+                first_activity = False
+    return manifest

@@ -1,0 +1,204 @@
+"""Command-line interface: ``nadroid`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``analyze FILE...``  -- run the full pipeline on MiniDroid sources
+* ``simulate FILE...`` -- execute an app under a random event schedule
+* ``corpus``           -- Table 1 over the 27-app corpus
+* ``figure5``          -- filter-effectiveness study
+* ``table2``           -- injected false-negative study
+* ``table3``           -- DEvA comparison
+* ``timing``           -- section 8.8 stage breakdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+
+def _read_sources(paths: List[str]):
+    return [(p, Path(p).read_text()) for p in paths]
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import analyze_app, AnalysisConfig
+    from .race.detector import DetectorOptions
+
+    config = AnalysisConfig(
+        k=args.k,
+        detector=DetectorOptions(engine=args.engine),
+    )
+    result = analyze_app(_read_sources(args.files), config=config)
+    counts = result.counts()
+    print(f"modeled threads : EC={counts['EC']} PC={counts['PC']} "
+          f"T={counts['T']}")
+    print(f"potential UAFs  : {counts['potential']}")
+    print(f"after sound     : {counts['after_sound']}")
+    print(f"after unsound   : {counts['after_unsound']}")
+    by_type = {k: v for k, v in result.by_pair_type().items() if v}
+    if by_type:
+        print(f"origin split    : {by_type}")
+    print()
+    for warning in result.remaining():
+        print(warning.describe(result.program.forest))
+        if args.validate:
+            from .runtime import Simulator, validate_warning
+
+            program = result.program
+
+            def make_sim():
+                return Simulator(program.module, program.manifest)
+
+            verdict = validate_warning(make_sim, warning)
+            status = "CONFIRMED harmful" if verdict.confirmed \
+                else "not confirmed (possible false positive)"
+            print(f"  dynamic check: {status} "
+                  f"({verdict.schedules_tried} schedules)")
+        print()
+    return 0 if not result.remaining() else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .lowering import compile_app
+    from .runtime import RandomScheduler, Simulator
+    from .threadify import threadify
+
+    module = compile_app(_read_sources(args.files), seal=False)
+    program = threadify(module)
+    sim = Simulator(program.module, program.manifest)
+    sim.run(RandomScheduler(args.seed), max_decisions=args.max_decisions)
+    print(f"executed {sim.total_steps} decisions "
+          f"({len(sim.trace)} events dispatched)")
+    for line in sim.trace:
+        print("  " + line)
+    if sim.exceptions:
+        print("exceptions:")
+        for exc in sim.exceptions:
+            print(f"  {exc}")
+        return 1
+    print("no exceptions raised")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from .harness import (
+        fp_totals, render_table1, run_table1, save_result_analysis,
+        total_true_harmful,
+    )
+
+    rows = run_table1(validate=args.validate)
+    print(render_table1(rows))
+    if args.validate:
+        print(f"\ntrue harmful UAFs: {total_true_harmful(rows)}")
+        print(f"false positives by category: {fp_totals(rows)}")
+    if args.csv:
+        save_result_analysis(rows, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_nosleep(args: argparse.Namespace) -> int:
+    from .analysis import run_pointsto
+    from .extensions import detect_nosleep
+    from .lowering import compile_app
+    from .threadify import threadify
+
+    module = compile_app(_read_sources(args.files), seal=False)
+    program = threadify(module)
+    pointsto = run_pointsto(program.module)
+    warnings = detect_nosleep(program, pointsto)
+    if not warnings:
+        print("no no-sleep risks found")
+        return 0
+    for warning in warnings:
+        print(warning.describe(program))
+        print()
+    return 1
+
+
+def cmd_figure5(args: argparse.Namespace) -> int:
+    from .harness import render_figure5, run_figure5
+
+    print(render_figure5(run_figure5()))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .harness import render_table2, run_table2
+
+    print(render_table2(run_table2()))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from .harness import render_table3, run_table3
+
+    print(render_table3(run_table3()))
+    return 0
+
+
+def cmd_timing(args: argparse.Namespace) -> int:
+    from .harness import render_timing, run_timing
+
+    print(render_timing(run_timing()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nadroid",
+        description="nAdroid (CGO'18) reproduction: static ordering-"
+                    "violation detection for Android-style programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="analyze MiniDroid sources")
+    p.add_argument("files", nargs="+", help="MiniDroid (.mjava) source files")
+    p.add_argument("--k", type=int, default=2,
+                   help="k for k-object-sensitive points-to (default 2)")
+    p.add_argument("--engine", choices=("datalog", "imperative"),
+                   default="datalog", help="race-pair solver backend")
+    p.add_argument("--validate", action="store_true",
+                   help="dynamically confirm surviving warnings")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("simulate", help="run an app under a random schedule")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-decisions", type=int, default=2000)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "nosleep",
+        help="detect no-sleep energy bugs (the section 9 extension)",
+    )
+    p.add_argument("files", nargs="+")
+    p.set_defaults(fn=cmd_nosleep)
+
+    p = sub.add_parser("corpus", help="Table 1 over the 27-app corpus")
+    p.add_argument("--validate", action="store_true")
+    p.add_argument("--csv", metavar="PATH",
+                   help="also write a ResultAnalysis.csv-style file")
+    p.set_defaults(fn=cmd_corpus)
+
+    for name, fn, help_text in (
+        ("figure5", cmd_figure5, "filter effectiveness (Figure 5)"),
+        ("table2", cmd_table2, "injected false-negative study (Table 2)"),
+        ("table3", cmd_table3, "DEvA comparison (Table 3)"),
+        ("timing", cmd_timing, "stage time breakdown (section 8.8)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""The nAdroid pipeline (paper Figure 2).
+
+``analyze_app`` runs the full chain on MiniDroid sources or a pre-lowered
+module:
+
+    modeling (threadification, section 4)
+      -> potential ordering-violation detection (section 5)
+      -> filtering (section 6)
+      -> programmer-facing report (section 7)
+
+and records per-stage wall-clock timings for the section 8.8 benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .analysis.lockset import LocksetAnalysis
+from .analysis.pointsto import PointsToResult, run_pointsto
+from .android.manifest import Manifest
+from .filters.base import FilterContext, FilterOptions
+from .filters.pipeline import FilterPipeline, FilterReport
+from .filters.sound import SOUND_FILTERS
+from .filters.unsound import UNSOUND_FILTERS
+from .ir import Module
+from .lowering import lower_sources
+from .race.detector import detect_uaf_warnings, DetectorOptions
+from .race.warnings import PAIR_TYPES, UafWarning
+from .threadify.transform import threadify, ThreadifiedProgram
+
+
+@dataclass
+class AnalysisConfig:
+    """End-to-end configuration; defaults follow the paper."""
+
+    k: int = 2
+    detector: DetectorOptions = field(default_factory=DetectorOptions)
+    filters: FilterOptions = field(default_factory=FilterOptions)
+    collect_individual_filter_stats: bool = True
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the pipeline produced, plus stage timings (seconds)."""
+
+    program: ThreadifiedProgram
+    pointsto: PointsToResult
+    lockset: LocksetAnalysis
+    warnings: List[UafWarning]
+    report: FilterReport
+    timings: Dict[str, float]
+
+    # -- Table 1 style accessors ----------------------------------------------
+
+    @property
+    def potential(self) -> List[UafWarning]:
+        return self.warnings
+
+    def after_sound(self) -> List[UafWarning]:
+        return [w for w in self.warnings if w.survives_sound]
+
+    def remaining(self) -> List[UafWarning]:
+        return [w for w in self.warnings if w.survives_all]
+
+    def by_pair_type(self) -> Dict[str, int]:
+        """Distribution of *remaining* warnings over origin categories."""
+        counts = {t: 0 for t in PAIR_TYPES}
+        for warning in self.remaining():
+            counts[warning.pair_type()] += 1
+        return counts
+
+    def counts(self) -> Dict[str, int]:
+        forest_counts = self.program.forest.counts()
+        return {
+            **forest_counts,
+            "potential": self.report.potential,
+            "after_sound": self.report.after_sound,
+            "after_unsound": self.report.after_unsound,
+        }
+
+    def describe_remaining(self, limit: Optional[int] = None) -> str:
+        lines: List[str] = []
+        for warning in self.remaining()[:limit]:
+            lines.append(warning.describe(self.program.forest))
+        return "\n\n".join(lines)
+
+
+def analyze_module(
+    module: Module,
+    manifest: Optional[Manifest] = None,
+    config: Optional[AnalysisConfig] = None,
+) -> AnalysisResult:
+    """Run the pipeline on an *unsealed* lowered module."""
+    config = config or AnalysisConfig()
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    program = threadify(module, manifest)
+    timings["modeling"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pointsto = run_pointsto(program.module, k=config.k)
+    lockset = LocksetAnalysis(program.module, pointsto)
+    warnings = detect_uaf_warnings(
+        program, pointsto, config.detector, lockset
+    )
+    timings["detection"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ctx = FilterContext(program, pointsto, lockset, config.filters)
+    pipeline = FilterPipeline(ctx, SOUND_FILTERS, UNSOUND_FILTERS)
+    report = pipeline.apply(
+        warnings, with_individual_stats=config.collect_individual_filter_stats
+    )
+    timings["filtering"] = time.perf_counter() - start
+    timings["total"] = sum(timings.values())
+
+    return AnalysisResult(
+        program=program,
+        pointsto=pointsto,
+        lockset=lockset,
+        warnings=warnings,
+        report=report,
+        timings=timings,
+    )
+
+
+def analyze_app(
+    sources: Union[str, Iterable[Tuple[str, str]]],
+    manifest: Optional[Manifest] = None,
+    config: Optional[AnalysisConfig] = None,
+    module_name: str = "app",
+) -> AnalysisResult:
+    """Compile MiniDroid sources and run the full nAdroid pipeline."""
+    module = lower_sources(sources, module_name=module_name, seal=False)
+    return analyze_module(module, manifest, config)

@@ -1,0 +1,22 @@
+"""Synthetic 27-application evaluation corpus plus the Table 2 fault
+injector."""
+
+from .registry import (
+    all_apps,
+    app,
+    AppSpec,
+    FP_CATEGORIES,
+    FP_MISSING_HB,
+    FP_NOT_REACHABLE,
+    FP_PATH,
+    FP_POINTS_TO,
+    PaperRow,
+    test_apps,
+    train_apps,
+)
+
+__all__ = [
+    "all_apps", "app", "AppSpec", "FP_CATEGORIES", "FP_MISSING_HB",
+    "FP_NOT_REACHABLE", "FP_PATH", "FP_POINTS_TO", "PaperRow",
+    "test_apps", "train_apps",
+]

@@ -1,0 +1,557 @@
+"""Artificial-UAF injection for the false-negative study (paper 8.6, Table 2).
+
+The paper takes the true races DroidRacer reported in 8 applications and
+plants new UAF ordering violations at the same locations, yielding 28
+ground-truth bugs; nAdroid misses 2 (code reached only through a framework
+path outside the analysis scope -- the IBinder case) and unsoundly prunes
+3 via the CHB filter (error-handling paths that may call ``finish``).
+
+We reproduce the construction exactly: 28 injections over the same 8
+corpus apps, with 2 delivered through the unmodeled ContentObserver
+channel (missed by detection) and 3 placed behind a may-``finish`` path
+(pruned by the unsound CHB filter).  Every injection is dynamically
+harmful: the schedule-search validator can crash each one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ir import Module
+from ..lowering import lower_sources
+from .registry import app
+
+#: expectations for the Table 2 driver
+DETECTED = "detected"
+MISSED = "missed-by-detection"
+PRUNED_UNSOUND = "pruned-by-unsound-filter"
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One artificial UAF planted into a corpus app."""
+
+    injection_id: str
+    app_name: str
+    description: str
+    anchor: str            #: source text the patch attaches to
+    addition: str          #: text inserted after the anchor
+    field: str             #: racy field of the injected pair
+    expectation: str
+    #: substrings locating the injected pair among this field's warnings
+    use_method_hint: str = ""
+    free_method_hint: str = ""
+
+
+_INJECTIONS: List[Injection] = []
+
+
+def _inject(**kwargs) -> None:
+    _INJECTIONS.append(Injection(**kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Tomdroid (1)
+# ---------------------------------------------------------------------------
+
+_inject(
+    injection_id="tomdroid-1",
+    app_name="tomdroid",
+    description="free the sync manager on pause; the sync click still uses it",
+    anchor="", addition="",
+    field="syncManager",
+    expectation=DETECTED,
+    free_method_hint="onPause",
+)
+
+_TOMDROID_PATCHES = [
+    (
+        "  void onResume() {",
+        "  void onPause() {\n"
+        "    super.onPause();\n"
+        "    syncManager = null;  // injected free (tomdroid-1)\n"
+        "  }\n\n  void onResume() {",
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# SGT Puzzles (9: 8 detected, 1 pruned by CHB)
+# ---------------------------------------------------------------------------
+
+_SGTPUZZLES_PATCHES = [
+    # unguarded uses in onResume against the existing onPause frees
+    (
+        "  void onResume() {\n    super.onResume();",
+        "  void onResume() {\n    super.onResume();\n"
+        "    engine.solveStep();    // injected use (puzzles-1)\n"
+        "    timer.tick();          // injected use (puzzles-2)",
+    ),
+    # a posted continuation using both fields (EC-PC pairs)
+    (
+        "    newGameButton.setOnClickListener(new OnClickListener() {",
+        "    hintHandler = new Handler();\n"
+        "    hintButton = findViewById(32);\n"
+        "    hintButton.setOnClickListener(new OnClickListener() {\n"
+        "      public void onClick(View v) {\n"
+        "        hintHandler.post(new Runnable() {\n"
+        "          public void run() {\n"
+        "            engine.redrawBoard();  // injected use (puzzles-3)\n"
+        "            timer.tick();          // injected use (puzzles-4)\n"
+        "          }\n"
+        "        });\n"
+        "        hintHandler.post(new Runnable() {\n"
+        "          public void run() {\n"
+        "            engine = null;        // injected free (puzzles-5,6)\n"
+        "            timer = null;\n"
+        "          }\n"
+        "        });\n"
+        "      }\n"
+        "    });\n\n"
+        "    newGameButton.setOnClickListener(new OnClickListener() {",
+    ),
+    # unguarded system-callback uses (puzzles-7, puzzles-8)
+    (
+        "  void onPause() {\n    super.onPause();",
+        "  void onActivityResult(int requestCode, int resultCode, Intent data) {\n"
+        "    engine.solveStep();   // injected use (puzzles-7)\n"
+        "    timer.tick();         // injected use (puzzles-8)\n"
+        "  }\n\n"
+        "  void onPause() {\n    super.onPause();",
+    ),
+    # puzzles-9: a free behind a may-finish error path (CHB prunes it,
+    # but the normal path still frees: a real bug nAdroid misses)
+    (
+        "  void onResume() {\n    super.onResume();",
+        "  void onKeyDown2(int keyCode) {\n"
+        "    if (keyCode == 111) {\n"
+        "      finish();\n"
+        "    }\n"
+        "    engine = null;   // injected free (puzzles-9, CHB-shadowed)\n"
+        "  }\n\n"
+        "  boolean onKeyDown(int keyCode, KeyEvent event) {\n"
+        "    onKeyDown2(keyCode);\n"
+        "    return true;\n"
+        "  }\n\n"
+        "  void onResume() {\n    super.onResume();",
+    ),
+]
+
+_SGTPUZZLES_FIELDS = [
+    ("puzzles-1", "engine", "onResume", "onPause", DETECTED),
+    ("puzzles-2", "timer", "onResume", "onPause", DETECTED),
+    ("puzzles-3", "engine", "$", "", DETECTED),       # posted use
+    ("puzzles-4", "timer", "$", "", DETECTED),
+    ("puzzles-5", "engine", "", "$", DETECTED),       # posted free
+    ("puzzles-6", "timer", "", "$", DETECTED),
+    ("puzzles-7", "engine", "onActivityResult", "", DETECTED),
+    ("puzzles-8", "timer", "onActivityResult", "", DETECTED),
+    ("puzzles-9", "engine", "onResume", "onKeyDown2", PRUNED_UNSOUND),
+]
+
+for _id, _field, _use, _free, _exp in _SGTPUZZLES_FIELDS:
+    _inject(
+        injection_id=_id,
+        app_name="sgtpuzzles",
+        description=f"injected pair on {_field}",
+        anchor="", addition="",
+        field=_field,
+        expectation=_exp,
+        use_method_hint=_use,
+        free_method_hint=_free,
+    )
+
+# ---------------------------------------------------------------------------
+# Aard (1)
+# ---------------------------------------------------------------------------
+
+_AARD_PATCHES = [
+    (
+        "  void onDestroy() {\n    super.onDestroy();\n    dictionaryService = null;",
+        "  void onResume() {\n"
+        "    super.onResume();\n"
+        "    volumeMenu.showVolumes();  // injected use (aard-1)\n"
+        "  }\n\n"
+        "  void onDestroy() {\n    super.onDestroy();\n    dictionaryService = null;",
+    ),
+]
+
+_inject(
+    injection_id="aard-1",
+    app_name="aard",
+    description="unguarded volume-menu use in onResume vs the close free",
+    anchor="", addition="",
+    field="volumeMenu",
+    expectation=DETECTED,
+    use_method_hint="onResume",
+)
+
+# ---------------------------------------------------------------------------
+# Music (6)
+# ---------------------------------------------------------------------------
+
+_MUSIC_PATCHES = [
+    # music-1/2: a hard free on pause against existing cursor/adapter uses
+    (
+        "  void onStop() {\n    super.onStop();\n    if (mTeardownRequested) {",
+        "  void onPause() {\n"
+        "    super.onPause();\n"
+        "    mGuardedCursor = null;   // injected free (music-1)\n"
+        "    mAdapter = null;         // injected free (music-2)\n"
+        "  }\n\n"
+        "  void onStop() {\n    super.onStop();\n    if (mTeardownRequested) {",
+    ),
+    # music-3/4: posted uses in QueryBrowserActivity
+    (
+        "    refreshButton.setOnClickListener(new OnClickListener() {",
+        "    queryHandler = new Handler();\n"
+        "    queryHandler.post(new Runnable() {\n"
+        "      public void run() {\n"
+        "        mAdapter.requery();        // injected use (music-3)\n"
+        "        mToggleAdapter.requery();  // injected use (music-4)\n"
+        "      }\n"
+        "    });\n"
+        "    refreshButton.setOnClickListener(new OnClickListener() {",
+    ),
+    # music-5/6: background workers freeing browser state (C-NT)
+    (
+        "class MediaPlaybackService extends Service {",
+        "class CacheEvictor implements Runnable {\n"
+        "  QueryBrowserActivity owner;\n"
+        "  CacheEvictor(QueryBrowserActivity a) { owner = a; }\n"
+        "  public void run() {\n"
+        "    owner.mAdapter = null;        // injected free (music-5)\n"
+        "    owner.mToggleAdapter = null;  // injected free (music-6)\n"
+        "  }\n"
+        "}\n\n"
+        "class MediaPlaybackService extends Service {",
+    ),
+    (
+        "  void onActivityResult(int requestCode, int resultCode, Intent data) {\n"
+        "    mAdapter.requery();\n"
+        "  }\n\n"
+        "  Object onRetainNonConfigurationInstance() {\n"
+        "    mAdapter.notifyChanged();\n"
+        "    return null;\n"
+        "  }\n\n"
+        "  void onDestroy() {\n"
+        "    super.onDestroy();\n"
+        "    mAdapter = null;\n"
+        "  }\n"
+        "}\n\n"
+        "class CacheEvictor",
+        "  void onActivityResult(int requestCode, int resultCode, Intent data) {\n"
+        "    mAdapter.requery();\n"
+        "  }\n\n"
+        "  Object onRetainNonConfigurationInstance() {\n"
+        "    mAdapter.notifyChanged();\n"
+        "    return null;\n"
+        "  }\n\n"
+        "  void onStart() {\n"
+        "    super.onStart();\n"
+        "    new Thread(new CacheEvictor(this)).start();\n"
+        "  }\n\n"
+        "  void onDestroy() {\n"
+        "    super.onDestroy();\n"
+        "    mAdapter = null;\n"
+        "  }\n"
+        "}\n\n"
+        "class CacheEvictor",
+    ),
+]
+
+for _id, _field, _use, _free in [
+    ("music-1", "mGuardedCursor", "onClick", "onPause"),
+    ("music-2", "mAdapter", "", "onPause"),
+    ("music-3", "mAdapter", "$", ""),
+    ("music-4", "mToggleAdapter", "$", ""),
+    ("music-5", "mAdapter", "", "CacheEvictor.run"),
+    ("music-6", "mToggleAdapter", "", "CacheEvictor.run"),
+]:
+    _inject(
+        injection_id=_id,
+        app_name="music",
+        description=f"injected pair on {_field}",
+        anchor="", addition="",
+        field=_field,
+        expectation=DETECTED,
+        use_method_hint=_use,
+        free_method_hint=_free,
+    )
+
+# ---------------------------------------------------------------------------
+# Mms (6: 4 detected, 2 missed through the ContentObserver channel)
+# ---------------------------------------------------------------------------
+
+_MMS_PATCHES = [
+    # wire the observer's owner so its frees are dynamically real
+    (
+        "class MmsSetupActivity extends Activity {\n"
+        "  ContentResolver resolver;\n"
+        "  ConversationActivity unusedOwnerWiring;\n\n"
+        "  void onCreate(Bundle savedInstanceState) {\n"
+        "    super.onCreate(savedInstanceState);\n"
+        "    DraftObserver observer = new DraftObserver();\n"
+        "    resolver.registerContentObserver(\"content://mms\", observer);\n"
+        "  }\n"
+        "}",
+        "class MmsSetupActivity extends Activity {\n"
+        "  ContentResolver resolver;\n"
+        "  static ConversationActivity sConversation;\n\n"
+        "  void onCreate(Bundle savedInstanceState) {\n"
+        "    super.onCreate(savedInstanceState);\n"
+        "    DraftObserver observer = new DraftObserver();\n"
+        "    observer.owner = MmsSetupActivity.sConversation;\n"
+        "    resolver.registerContentObserver(\"content://mms\", observer);\n"
+        "  }\n"
+        "}",
+    ),
+    (
+        "  void onCreate(Bundle savedInstanceState) {\n"
+        "    super.onCreate(savedInstanceState);\n"
+        "    setContentView(1);\n"
+        "    sendHandler = new Handler();",
+        "  void onCreate(Bundle savedInstanceState) {\n"
+        "    super.onCreate(savedInstanceState);\n"
+        "    MmsSetupActivity.sConversation = this;\n"
+        "    setContentView(1);\n"
+        "    sendHandler = new Handler();",
+    ),
+    # mms-1/2 (missed): frees delivered via the unmodeled observer channel
+    (
+        "  void onChange(boolean selfChange) {\n"
+        "    // invisible to the static analysis: ContentObserver callbacks are not\n"
+        "    // in the threadifier's model (the section 8.6 unanalyzed-code case)\n"
+        "    owner.draftCache = null;\n"
+        "  }",
+        "  void onChange(boolean selfChange) {\n"
+        "    // invisible to the static analysis: ContentObserver callbacks are not\n"
+        "    // in the threadifier's model (the section 8.6 unanalyzed-code case)\n"
+        "    owner.draftCache = null;       // injected free (mms-1, missed)\n"
+        "    owner.slideshowModel = null;   // injected free (mms-2, missed)\n"
+        "  }",
+    ),
+    # mms-3..6 (detected): plain pairs
+    (
+        "  void onStop() {\n    super.onStop();\n    if (storageFailure) {",
+        "  void onStop() {\n    super.onStop();\n"
+        "    composeButton = null;          // injected free (mms-3)\n"
+        "    slideshowModel = null;         // injected free pairing mms-4\n"
+        "    if (storageFailure) {",
+    ),
+    (
+        "  void onResume() {\n    super.onResume();\n    draftCache.refreshDraft();",
+        "  void onResume() {\n    super.onResume();\n    draftCache.refreshDraft();\n"
+        "    slideshowModel.renderSlide(2);   // injected use (mms-4)\n"
+        "    sendHandler.post(new Runnable() {\n"
+        "      public void run() {\n"
+        "        draftCache.refreshDraft();   // injected use (mms-5)\n"
+        "      }\n"
+        "    });\n"
+        "    sendHandler.post(new Runnable() {\n"
+        "      public void run() {\n"
+        "        slideshowModel = null;       // injected free (mms-6)\n"
+        "      }\n"
+        "    });",
+    ),
+    # give the injected frees real pairs: a hard free of draftCache and a
+    # hard use of slideshowModel already exist? ensure a non-flag free:
+    (
+        "  void onDestroy() {\n    super.onDestroy();\n    draftCache = null;",
+        "  void onPause() {\n    super.onPause();\n"
+        "    draftCache = null;   // injected free pairing mms-5\n  }\n\n"
+        "  void onDestroy() {\n    super.onDestroy();\n    draftCache = null;",
+    ),
+]
+
+for _id, _field, _use, _free, _exp in [
+    ("mms-1", "draftCache", "onResume", "onChange", MISSED),
+    ("mms-2", "slideshowModel", "onResume", "onChange", MISSED),
+    ("mms-3", "composeButton", "onClick", "onStop", DETECTED),
+    ("mms-4", "slideshowModel", "onResume", "onStop", DETECTED),
+    ("mms-5", "draftCache", "$", "onPause", DETECTED),
+    ("mms-6", "slideshowModel", "", "$", DETECTED),
+]:
+    _inject(
+        injection_id=_id,
+        app_name="mms",
+        description=f"injected pair on {_field}",
+        anchor="", addition="",
+        field=_field,
+        expectation=_exp,
+        use_method_hint=_use,
+        free_method_hint=_free,
+    )
+
+# ---------------------------------------------------------------------------
+# Browser (3: 1 detected, 2 pruned by CHB's may-finish assumption)
+# ---------------------------------------------------------------------------
+
+_BROWSER_PATCHES = [
+    # rework the close listener: finish() only on an error path, but the
+    # teardown always runs -- the real-bug shape CHB unsoundly prunes
+    (
+        "    closeButton.setOnClickListener(new OnClickListener() {\n"
+        "      public void onClick(View v) {\n"
+        "        // CHB: finish() stops every UI callback of this activity, so the\n"
+        "        // teardown below cannot precede any surviving use\n"
+        "        finish();\n"
+        "        mTabControl = null;\n"
+        "        mDownloads = null;\n"
+        "      }\n"
+        "    });",
+        "    closeButton.setOnClickListener(new OnClickListener() {\n"
+        "      public void onClick(View v) {\n"
+        "        if (lowDiskSpace) {\n"
+        "          finish();  // error handling on a special path (8.6)\n"
+        "        }\n"
+        "        mTabControl = null;   // injected free (browser-1, CHB-shadowed)\n"
+        "        mDownloads = null;    // injected free (browser-2, CHB-shadowed)\n"
+        "      }\n"
+        "    });",
+    ),
+    (
+        "class BrowserActivity extends Activity {\n  TabControl mTabControl;",
+        "class BrowserActivity extends Activity {\n"
+        "  boolean lowDiskSpace;\n  TabControl mTabControl;",
+    ),
+    # browser-3 (detected): an unguarded settings use vs the posted free
+    (
+        "  void onDestroy() {\n    super.onDestroy();\n    mWebView = null;",
+        "  void onNewIntent(Intent intent) {\n"
+        "    mSettings.syncPreferences();  // injected use (browser-3)\n"
+        "  }\n\n"
+        "  void onDestroy() {\n    super.onDestroy();\n    mWebView = null;",
+    ),
+]
+
+for _id, _field, _use, _free, _exp in [
+    ("browser-1", "mTabControl", "onClick", "$", PRUNED_UNSOUND),
+    ("browser-2", "mDownloads", "onClick", "$", PRUNED_UNSOUND),
+    ("browser-3", "mSettings", "onNewIntent", "$", DETECTED),
+]:
+    _inject(
+        injection_id=_id,
+        app_name="browser",
+        description=f"injected pair on {_field}",
+        anchor="", addition="",
+        field=_field,
+        expectation=_exp,
+        use_method_hint=_use,
+        free_method_hint=_free,
+    )
+
+# ---------------------------------------------------------------------------
+# MyTracks_2 (1)
+# ---------------------------------------------------------------------------
+
+_MYTRACKS2_PATCHES = [
+    (
+        "  void onStop() {\n    super.onStop();\n    routeOverlay = null;",
+        "  void onResume() {\n"
+        "    super.onResume();\n"
+        "    statsTable.updateRow(\"distance\");  // injected use (mytracks2-1)\n"
+        "  }\n\n"
+        "  void onStop() {\n    super.onStop();\n    routeOverlay = null;",
+    ),
+]
+
+_inject(
+    injection_id="mytracks2-1",
+    app_name="mytracks2",
+    description="unguarded stats use in onResume vs the hide-stats free",
+    anchor="", addition="",
+    field="statsTable",
+    expectation=DETECTED,
+    use_method_hint="onResume",
+)
+
+# ---------------------------------------------------------------------------
+# K-9 Mail (1)
+# ---------------------------------------------------------------------------
+
+_K9_PATCHES = [
+    (
+        "  void onDestroy() {\n    super.onDestroy();\n    folderAdapter = null;",
+        "  void onPause() {\n"
+        "    super.onPause();\n"
+        "    syncDialog = null;   // injected free (k9mail-1)\n"
+        "  }\n\n"
+        "  void onDestroy() {\n    super.onDestroy();\n    folderAdapter = null;",
+    ),
+]
+
+_inject(
+    injection_id="k9mail-1",
+    app_name="k9mail",
+    description="sync dialog freed on pause; the sync click still uses it",
+    anchor="", addition="",
+    field="syncDialog",
+    expectation=DETECTED,
+    free_method_hint="onPause",
+)
+
+# ---------------------------------------------------------------------------
+# patch application
+# ---------------------------------------------------------------------------
+
+_PATCHES: Dict[str, List] = {
+    "tomdroid": _TOMDROID_PATCHES,
+    "sgtpuzzles": _SGTPUZZLES_PATCHES,
+    "aard": _AARD_PATCHES,
+    "music": _MUSIC_PATCHES,
+    "mms": _MMS_PATCHES,
+    "browser": _BROWSER_PATCHES,
+    "mytracks2": _MYTRACKS2_PATCHES,
+    "k9mail": _K9_PATCHES,
+}
+
+#: extra declarations some patches rely on (appended fields)
+_FIELD_PATCHES: Dict[str, List] = {
+    "sgtpuzzles": [
+        (
+            "class PuzzlesActivity extends Activity {\n  GameEngine engine;",
+            "class PuzzlesActivity extends Activity {\n"
+            "  Handler hintHandler;\n  View hintButton;\n  GameEngine engine;",
+        ),
+    ],
+    "music": [
+        (
+            "class QueryBrowserActivity extends Activity {\n  TrackAdapter mAdapter;",
+            "class QueryBrowserActivity extends Activity {\n"
+            "  Handler queryHandler;\n  TrackAdapter mAdapter;",
+        ),
+    ],
+}
+
+INJECTED_APPS = tuple(sorted(_PATCHES))
+
+
+def all_injections() -> List[Injection]:
+    return list(_INJECTIONS)
+
+
+def injections_for(app_name: str) -> List[Injection]:
+    return [i for i in _INJECTIONS if i.app_name == app_name]
+
+
+def injected_source(app_name: str) -> str:
+    """The app's source with all its injections applied."""
+    source = app(app_name).source()
+    for old, new in _FIELD_PATCHES.get(app_name, []):
+        if old not in source:
+            raise ValueError(f"{app_name}: field-patch anchor not found:\n{old}")
+        source = source.replace(old, new, 1)
+    for old, new in _PATCHES.get(app_name, []):
+        if old not in source:
+            raise ValueError(f"{app_name}: patch anchor not found:\n{old}")
+        source = source.replace(old, new, 1)
+    return source
+
+
+def injected_module(app_name: str) -> Module:
+    """Compile the injected variant (unsealed, ready to threadify)."""
+    return lower_sources(
+        injected_source(app_name), module_name=f"{app_name}-injected",
+        seal=False,
+    )

@@ -1,0 +1,400 @@
+"""The 27-application evaluation corpus (paper Table 1).
+
+Each corpus entry is a synthetic MiniDroid application standing in for one
+of the paper's open-source subjects.  We cannot reproduce the real apps'
+absolute warning counts; instead every app is seeded with the *kinds* of
+use/free patterns its Table 1 row exhibits -- true harmful UAFs where the
+paper found them, filterable-benign patterns where the paper's filters
+fired, and labeled false-positive patterns matching the section 8.5
+categories -- scaled down roughly one decimal order of magnitude.
+
+Ground truth is carried per app: which fields hold genuinely harmful UAFs
+(cross-checked dynamically by the schedule-search validator) and which
+false-positive category each surviving benign field belongs to.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..android.manifest import ComponentDecl, infer_manifest, Manifest
+from ..ir import Module
+from ..lowering import lower_sources
+
+#: Section 8.5 false-positive categories.
+FP_PATH = "path-insensitivity"
+FP_POINTS_TO = "points-to"
+FP_NOT_REACHABLE = "not-reachable"
+FP_MISSING_HB = "missing-hb"
+FP_CATEGORIES = (FP_PATH, FP_POINTS_TO, FP_NOT_REACHABLE, FP_MISSING_HB)
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The app's Table 1 row (for paper-vs-measured reporting)."""
+
+    loc: int
+    potential: int
+    after_sound: int
+    after_unsound: int
+    true_harmful: int
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One corpus application."""
+
+    name: str
+    group: str                    #: "train" or "test"
+    description: str
+    paper: PaperRow
+    #: fields whose surviving warnings are true harmful UAFs
+    true_uaf_fields: FrozenSet[str] = frozenset()
+    #: surviving-but-benign fields -> FP category
+    fp_fields: Dict[str, str] = field(default_factory=dict)
+    #: component classes that are declared but unreachable
+    unreachable_components: Tuple[str, ...] = ()
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.mjava"
+
+    def source(self) -> str:
+        package = importlib.resources.files("repro.corpus") / "apps" / self.filename
+        return package.read_text()
+
+    def compile(self) -> Module:
+        """Lower the app's sources (unsealed, ready for threadification)."""
+        return lower_sources(
+            self.source(), module_name=self.name, seal=False
+        )
+
+    def manifest_for(self, module: Module) -> Optional[Manifest]:
+        """Explicit manifest when the app marks components unreachable."""
+        if not self.unreachable_components:
+            return None
+        manifest = infer_manifest(module, package=self.name)
+        for class_name in self.unreachable_components:
+            decl = manifest.component(class_name)
+            if decl is not None:
+                manifest.components[class_name] = ComponentDecl(
+                    decl.name, decl.kind, reachable=False, main=decl.main
+                )
+        return manifest
+
+
+_REGISTRY: Dict[str, AppSpec] = {}
+
+
+def _app(spec: AppSpec) -> AppSpec:
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def app(name: str) -> AppSpec:
+    return _REGISTRY[name]
+
+def all_apps() -> List[AppSpec]:
+    return list(_REGISTRY.values())
+
+
+def train_apps() -> List[AppSpec]:
+    return [a for a in _REGISTRY.values() if a.group == "train"]
+
+
+def test_apps() -> List[AppSpec]:
+    return [a for a in _REGISTRY.values() if a.group == "test"]
+
+
+# ---------------------------------------------------------------------------
+# Train group (the 7 CAFA applications, section 8.2)
+# ---------------------------------------------------------------------------
+
+_app(AppSpec(
+    name="todolist",
+    group="train",
+    description="Task list; db lifecycle handled with guards (Table 3 row 1)",
+    paper=PaperRow(loc=2637, potential=54, after_sound=32,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="zxing",
+    group="train",
+    description="Barcode scanner; camera teardown protected by UI-state "
+                "interactions the analysis cannot see",
+    paper=PaperRow(loc=6453, potential=263, after_sound=6,
+                   after_unsound=2, true_harmful=0),
+    fp_fields={"camera": FP_MISSING_HB, "decodeThread": FP_MISSING_HB},
+))
+
+_app(AppSpec(
+    name="music",
+    group="train",
+    description="Media player; many browser activities sharing adapters and "
+                "a playback service (Table 3 rows 2-10)",
+    paper=PaperRow(loc=10518, potential=19167, after_sound=2491,
+                   after_unsound=207, true_harmful=0),
+    fp_fields={
+        "mGuardedCursor": FP_PATH,
+        "mSharedAdapter": FP_POINTS_TO,
+        "mOrphanPlayer": FP_NOT_REACHABLE,
+        "mToggleAdapter": FP_MISSING_HB,
+    },
+    unreachable_components=("HiddenPlaybackActivity",),
+))
+
+_app(AppSpec(
+    name="mytracks1",
+    group="train",
+    description="GPS track recorder (CAFA version): recording service and "
+                "provider threads race against UI teardown",
+    paper=PaperRow(loc=27080, potential=825, after_sound=173,
+                   after_unsound=80, true_harmful=29),
+    true_uaf_fields=frozenset({
+        "providerUtils", "recorder", "trackWriter", "statsUpdater",
+    }),
+    fp_fields={"binder": FP_PATH},
+))
+
+_app(AppSpec(
+    name="browser",
+    group="train",
+    description="Web browser; everything filtered -- plus the Fragment UAF "
+                "nAdroid's prototype cannot model (Table 3 last row)",
+    paper=PaperRow(loc=30675, potential=34185, after_sound=8077,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="connectbot",
+    group="train",
+    description="SSH client; the Figure 1(a)/(b) service-connection UAFs "
+                "plus further bridge/relay races",
+    paper=PaperRow(loc=32645, potential=197, after_sound=33,
+                   after_unsound=17, true_harmful=13),
+    true_uaf_fields=frozenset({
+        "bound", "hostBridge", "relay", "transport", "emulation",
+    }),
+    fp_fields={"prompted": FP_PATH},
+))
+
+_app(AppSpec(
+    name="firefox",
+    group="train",
+    description="Gecko frontend; the Figure 1(c) looper-vs-pool UAF among "
+                "a large benign surface",
+    paper=PaperRow(loc=102658, potential=16546, after_sound=10004,
+                   after_unsound=1540, true_harmful=1),
+    true_uaf_fields=frozenset({"jClient"}),
+    fp_fields={
+        "mLayerController": FP_PATH,
+        "mSessionMenu": FP_MISSING_HB,
+        "mTabsAdapter": FP_POINTS_TO,
+    },
+))
+
+# ---------------------------------------------------------------------------
+# Test group (6 DroidRacer apps + 14 F-Droid apps, section 8.2)
+# ---------------------------------------------------------------------------
+
+_app(AppSpec(
+    name="soundrecorder",
+    group="test",
+    description="Minimal recorder; guards everywhere",
+    paper=PaperRow(loc=1194, potential=9, after_sound=0,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="swiftnotes",
+    group="test",
+    description="Note pad with no shared mutable teardown at all",
+    paper=PaperRow(loc=1571, potential=0, after_sound=0,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="photoaffix",
+    group="test",
+    description="Photo stitcher; two benign flag-guarded pairs survive",
+    paper=PaperRow(loc=1924, potential=84, after_sound=10,
+                   after_unsound=4, true_harmful=0),
+    fp_fields={"stitcher": FP_PATH, "progressDialog": FP_PATH},
+))
+
+_app(AppSpec(
+    name="mlmanager",
+    group="test",
+    description="APK manager; getter idioms pruned by MA/UR",
+    paper=PaperRow(loc=2073, potential=304, after_sound=38,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="instamaterial",
+    group="test",
+    description="Feed UI demo; post-chains pruned by PHB",
+    paper=PaperRow(loc=2248, potential=6496, after_sound=544,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="tomdroid",
+    group="test",
+    description="Note sync client; clean",
+    paper=PaperRow(loc=2372, potential=0, after_sound=0,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="sgtpuzzles",
+    group="test",
+    description="Puzzle collection; every pair if-guarded on one looper",
+    paper=PaperRow(loc=2944, potential=591, after_sound=0,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="aard",
+    group="test",
+    description="Offline dictionary; true service-lookup UAFs plus "
+                "unreachable-component and UI-state false positives",
+    paper=PaperRow(loc=3684, potential=216, after_sound=111,
+                   after_unsound=48, true_harmful=8),
+    true_uaf_fields=frozenset({"dictionaryService", "lookupResult"}),
+    fp_fields={
+        "debugProbe": FP_NOT_REACHABLE,
+        "volumeMenu": FP_MISSING_HB,
+    },
+    unreachable_components=("DebugConsoleActivity",),
+))
+
+_app(AppSpec(
+    name="clipstack",
+    group="test",
+    description="Clipboard history; trivial",
+    paper=PaperRow(loc=3948, potential=4, after_sound=0,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="kisslauncher",
+    group="test",
+    description="Launcher; EC-EC pairs guarded by view enablement "
+                "(the missing-HB FP signature)",
+    paper=PaperRow(loc=5210, potential=264, after_sound=42,
+                   after_unsound=36, true_harmful=0),
+    fp_fields={"searchAdapter": FP_MISSING_HB, "resultsList": FP_MISSING_HB},
+))
+
+_app(AppSpec(
+    name="dashclock",
+    group="test",
+    description="Widget host; one sound survivor pruned by UR",
+    paper=PaperRow(loc=10147, potential=74, after_sound=1,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="dns66",
+    group="test",
+    description="Ad-blocking DNS; unreachable config screen dominates the "
+                "false positives",
+    paper=PaperRow(loc=10423, potential=99, after_sound=13,
+                   after_unsound=13, true_harmful=0),
+    fp_fields={
+        "ruleDatabase": FP_NOT_REACHABLE,
+        "vpnThread": FP_MISSING_HB,
+    },
+    unreachable_components=("ConfigImportActivity",),
+))
+
+_app(AppSpec(
+    name="cleanmaster",
+    group="test",
+    description="Storage cleaner; tiny benign surface",
+    paper=PaperRow(loc=11014, potential=7, after_sound=0,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="omninotes",
+    group="test",
+    description="Notes app; everything pruned by the sound filters",
+    paper=PaperRow(loc=13720, potential=10360, after_sound=32,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="solitaire",
+    group="test",
+    description="Card game; one C-RT false positive from context merging",
+    paper=PaperRow(loc=15478, potential=48, after_sound=31,
+                   after_unsound=1, true_harmful=0),
+    fp_fields={"deckImage": FP_POINTS_TO},
+))
+
+_app(AppSpec(
+    name="mms",
+    group="test",
+    description="Messaging app; a large benign surface plus the "
+                "ContentObserver path the static analysis cannot track",
+    paper=PaperRow(loc=27578, potential=10439, after_sound=3990,
+                   after_unsound=1207, true_harmful=0),
+    fp_fields={
+        "draftCache": FP_PATH,
+        "slideshowModel": FP_PATH,
+        "contactCache": FP_POINTS_TO,
+        "composeButton": FP_MISSING_HB,
+        "ratingDialog": FP_NOT_REACHABLE,
+    },
+    unreachable_components=("RateUsActivity",),
+))
+
+_app(AppSpec(
+    name="mytracks2",
+    group="test",
+    description="GPS tracker (DroidRacer version): chart/stats updaters "
+                "race with sensor teardown",
+    paper=PaperRow(loc=37031, potential=1104, after_sound=145,
+                   after_unsound=71, true_harmful=27),
+    true_uaf_fields=frozenset({
+        "chartUpdater", "sensorManagerProxy", "routeOverlay",
+    }),
+    fp_fields={"statsTable": FP_MISSING_HB},
+))
+
+_app(AppSpec(
+    name="mimanganu",
+    group="test",
+    description="Manga reader; the one sound survivor is UR-benign",
+    paper=PaperRow(loc=37827, potential=10, after_sound=1,
+                   after_unsound=0, true_harmful=0),
+))
+
+_app(AppSpec(
+    name="qksms",
+    group="test",
+    description="SMS client; posted conversation-loader UAFs are real",
+    paper=PaperRow(loc=56082, potential=536, after_sound=171,
+                   after_unsound=19, true_harmful=10),
+    true_uaf_fields=frozenset({"conversationLoader", "composeCache"}),
+    fp_fields={"themeCache": FP_PATH},
+))
+
+_app(AppSpec(
+    name="k9mail",
+    group="test",
+    description="Mail client; the largest benign surface in the test group",
+    paper=PaperRow(loc=78437, potential=45336, after_sound=4143,
+                   after_unsound=918, true_harmful=0),
+    fp_fields={
+        "folderAdapter": FP_PATH,
+        "accountStats": FP_POINTS_TO,
+        "syncDialog": FP_MISSING_HB,
+        "pushController": FP_PATH,
+    },
+))

@@ -1,0 +1,12 @@
+"""Stratified semi-naive Datalog engine (the bddbddb/Chord substrate)."""
+
+from .chord import build_race_program, datalog_racy_pairs
+from .engine import evaluate, query, StratificationError, stratify
+from .parser import DatalogSyntaxError, parse
+from .terms import is_var, Literal, Program, Rule, Var, vars_
+
+__all__ = [
+    "build_race_program", "datalog_racy_pairs", "DatalogSyntaxError",
+    "evaluate", "is_var", "Literal", "parse", "Program", "query", "Rule",
+    "StratificationError", "stratify", "Var", "vars_",
+]

@@ -1,0 +1,245 @@
+"""Stratified semi-naive Datalog evaluation.
+
+The engine computes the least model of a program in three steps:
+
+1. **Stratification** -- build the predicate dependency graph; negated
+   edges must not appear in a cycle (no negation through recursion).
+   Strata are evaluated bottom-up, so a negated literal always refers to a
+   fully-computed relation.
+2. **Semi-naive iteration** -- within a stratum, each pass joins each rule
+   against the *delta* (tuples new in the previous pass) of one positive
+   literal at a time, so work is proportional to new facts rather than to
+   the whole database.
+3. **Indexed joins** -- literals are matched left to right with an
+   environment of variable bindings; per-predicate hash indexes on bound
+   positions keep the common equi-joins linear.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .terms import is_var, Literal, Program, Rule, Var
+
+Row = Tuple
+Bindings = Dict[Var, object]
+
+
+class StratificationError(Exception):
+    """The program negates a predicate inside a recursive cycle."""
+
+
+def stratify(program: Program) -> List[List[Rule]]:
+    """Group rules into strata evaluated bottom-up."""
+    idb = program.idb_predicates()
+    # stratum number per predicate; EDB predicates are stratum 0
+    stratum: Dict[str, int] = defaultdict(int)
+    changed = True
+    passes = 0
+    limit = (len(idb) + 1) * (len(program.rules) + 1) + 8
+    while changed:
+        changed = False
+        passes += 1
+        if passes > limit:
+            raise StratificationError(
+                "program cannot be stratified (negation through recursion)"
+            )
+        for rule in program.rules:
+            head = rule.head.pred
+            for lit in rule.body:
+                if lit.is_builtin:
+                    continue
+                if lit.pred not in idb:
+                    continue
+                need = stratum[lit.pred] + (1 if lit.negated else 0)
+                if stratum[head] < need:
+                    stratum[head] = need
+                    changed = True
+
+    buckets: Dict[int, List[Rule]] = defaultdict(list)
+    for rule in program.rules:
+        buckets[stratum[rule.head.pred]].append(rule)
+    return [buckets[i] for i in sorted(buckets)]
+
+
+class _Database:
+    """Relations plus per-(pred, bound positions) hash indexes."""
+
+    def __init__(self, facts: Dict[str, Set[Row]]) -> None:
+        self.relations: Dict[str, Set[Row]] = {
+            pred: set(rows) for pred, rows in facts.items()
+        }
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple, List[Row]]] = {}
+
+    def rows(self, pred: str) -> Set[Row]:
+        return self.relations.setdefault(pred, set())
+
+    def add(self, pred: str, row: Row) -> bool:
+        rel = self.rows(pred)
+        if row in rel:
+            return False
+        rel.add(row)
+        # keep indexes fresh
+        for (ipred, positions), index in self._indexes.items():
+            if ipred == pred:
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, []).append(row)
+        return True
+
+    def lookup(self, pred: str, bound: Dict[int, object]) -> Iterable[Row]:
+        """Rows of ``pred`` matching constants at the given positions."""
+        if not bound:
+            return self.rows(pred)
+        positions = tuple(sorted(bound))
+        key = tuple(bound[i] for i in positions)
+        index_key = (pred, positions)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for row in self.rows(pred):
+                k = tuple(row[i] for i in positions)
+                index.setdefault(k, []).append(row)
+            self._indexes[index_key] = index
+        return index.get(key, ())
+
+
+_BUILTIN_FUNCS = {
+    "!=": lambda a, b: a != b,
+    "==": lambda a, b: a == b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+def _match(literal: Literal, row: Row, env: Bindings) -> Optional[Bindings]:
+    if len(row) != len(literal.args):
+        return None
+    out = env
+    copied = False
+    for arg, value in zip(literal.args, row):
+        if is_var(arg):
+            bound = out.get(arg, _MISSING)
+            if bound is _MISSING:
+                if not copied:
+                    out = dict(out)
+                    copied = True
+                out[arg] = value
+            elif bound != value:
+                return None
+        elif arg != value:
+            return None
+    return out
+
+
+_MISSING = object()
+
+
+def _bound_positions(literal: Literal, env: Bindings) -> Dict[int, object]:
+    bound: Dict[int, object] = {}
+    for i, arg in enumerate(literal.args):
+        if is_var(arg):
+            if arg in env:
+                bound[i] = env[arg]
+        else:
+            bound[i] = arg
+    return bound
+
+
+def _eval_builtin(literal: Literal, env: Bindings) -> bool:
+    fn = _BUILTIN_FUNCS[literal.pred]
+    values = []
+    for arg in literal.args:
+        values.append(env[arg] if is_var(arg) else arg)
+    result = fn(*values)
+    return not result if literal.negated else result
+
+
+def _instantiate(literal: Literal, env: Bindings) -> Row:
+    return tuple(env[a] if is_var(a) else a for a in literal.args)
+
+
+def _join(
+    db: _Database,
+    body: List[Literal],
+    env: Bindings,
+    delta_index: Optional[int],
+    delta_rows: Optional[Set[Row]],
+    position: int = 0,
+) -> Iterable[Bindings]:
+    """Left-to-right join; literal at ``delta_index`` scans only deltas."""
+    if position == len(body):
+        yield env
+        return
+    literal = body[position]
+    if literal.is_builtin:
+        if _eval_builtin(literal, env):
+            yield from _join(db, body, env, delta_index, delta_rows, position + 1)
+        return
+    if literal.negated:
+        bound = _bound_positions(literal, env)
+        for row in db.lookup(literal.pred, bound):
+            if _match(literal, row, env) is not None:
+                return  # negated literal satisfied: fail this env
+        yield from _join(db, body, env, delta_index, delta_rows, position + 1)
+        return
+
+    if position == delta_index and delta_rows is not None:
+        source: Iterable[Row] = delta_rows
+    else:
+        source = db.lookup(literal.pred, _bound_positions(literal, env))
+    for row in source:
+        new_env = _match(literal, row, env)
+        if new_env is not None:
+            yield from _join(db, body, new_env, delta_index, delta_rows,
+                             position + 1)
+
+
+def evaluate(program: Program) -> Dict[str, Set[Row]]:
+    """Compute the least model; returns all relations (EDB and IDB)."""
+    db = _Database(program.facts)
+    for rule in program.rules:
+        if not rule.body:  # rule-level facts
+            db.add(rule.head.pred, _instantiate(rule.head, {}))
+
+    for stratum in stratify(program):
+        rules = [r for r in stratum if r.body]
+        stratum_preds = {r.head.pred for r in rules}
+        # Derivations are buffered per pass so joins never observe a
+        # relation mutating underneath them.
+        delta: Dict[str, Set[Row]] = defaultdict(set)
+        derived: List[Tuple[str, Row]] = []
+        for rule in rules:
+            for env in _join(db, list(rule.body), {}, None, None):
+                derived.append((rule.head.pred, _instantiate(rule.head, env)))
+        for pred, row in derived:
+            if db.add(pred, row):
+                delta[pred].add(row)
+        # semi-naive iterations
+        while any(delta.values()):
+            derived = []
+            for rule in rules:
+                body = list(rule.body)
+                for i, literal in enumerate(body):
+                    if literal.is_builtin or literal.negated:
+                        continue
+                    if literal.pred not in stratum_preds:
+                        continue
+                    rows = delta.get(literal.pred)
+                    if not rows:
+                        continue
+                    for env in _join(db, body, {}, i, rows):
+                        derived.append(
+                            (rule.head.pred, _instantiate(rule.head, env))
+                        )
+            new_delta: Dict[str, Set[Row]] = defaultdict(set)
+            for pred, row in derived:
+                if db.add(pred, row):
+                    new_delta[pred].add(row)
+            delta = new_delta
+    return db.relations
+
+
+def query(program: Program, pred: str) -> Set[Row]:
+    """Evaluate the program and return one relation."""
+    return evaluate(program).get(pred, set())

@@ -1,0 +1,128 @@
+"""Textual Datalog syntax.
+
+Grammar::
+
+    program  ::= clause*
+    clause   ::= literal ( ":-" literal ("," literal)* )? "."
+    literal  ::= "!"? IDENT "(" term ("," term)* ")"
+               | term ("!="|"=="|"<"|"<=") term
+    term     ::= VARIABLE | IDENT | NUMBER | STRING
+
+Variables start with an uppercase letter or ``_``; identifiers starting
+lowercase are symbol constants; ``%`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .terms import Literal, Program, Rule, Var
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<turnstile>:-)
+  | (?P<op>!=|==|<=|<)
+  | (?P<punct>[(),.!])
+  | (?P<number>-?\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class DatalogSyntaxError(Exception):
+    pass
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise DatalogSyntaxError(f"bad character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.index]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str = None) -> Tuple[str, str]:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise DatalogSyntaxError(f"expected {value or kind}, got {token[1]!r}")
+        return token
+
+    def parse_term(self):
+        kind, value = self.next()
+        if kind == "number":
+            return int(value)
+        if kind == "string":
+            return value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        if kind == "ident":
+            if value[0].isupper() or value[0] == "_":
+                return Var(value)
+            return value
+        raise DatalogSyntaxError(f"expected a term, got {value!r}")
+
+    def parse_literal(self) -> Literal:
+        negated = False
+        if self.peek() == ("punct", "!"):
+            self.next()
+            negated = True
+        # relational literal or builtin comparison
+        kind, value = self.peek()
+        if kind == "ident" and self.tokens[self.index + 1] == ("punct", "("):
+            name = self.next()[1]
+            self.expect("punct", "(")
+            args = [self.parse_term()]
+            while self.peek() == ("punct", ","):
+                self.next()
+                args.append(self.parse_term())
+            self.expect("punct", ")")
+            return Literal(name, tuple(args), negated)
+        lhs = self.parse_term()
+        op = self.expect("op")[1]
+        rhs = self.parse_term()
+        return Literal(op, (lhs, rhs), negated)
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek()[0] != "eof":
+            head = self.parse_literal()
+            body: List[Literal] = []
+            if self.peek() == ("turnstile", ":-"):
+                self.next()
+                body.append(self.parse_literal())
+                while self.peek() == ("punct", ","):
+                    self.next()
+                    body.append(self.parse_literal())
+            self.expect("punct", ".")
+            if not body and head.variables():
+                raise DatalogSyntaxError(f"fact {head!r} contains variables")
+            program.rules.append(Rule(head, tuple(body)))
+        return program
+
+
+def parse(text: str) -> Program:
+    """Parse textual Datalog into a :class:`Program`."""
+    return _Parser(text).parse_program()

@@ -1,0 +1,132 @@
+"""Terms, literals and rules for the Datalog engine.
+
+Chord expresses its analyses as Datalog over bytecode relations and solves
+them with bddbddb (paper section 8.1).  This package reimplements the
+solver side: a stratified, semi-naive Datalog engine over Python tuples.
+
+Values are arbitrary hashable Python objects; variables are
+:class:`Var` instances (conventionally created via :func:`vars_`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[Var, object]
+
+
+def vars_(names: str) -> List[Var]:
+    """``X, Y = vars_("X Y")`` -- convenience constructor."""
+    return [Var(n) for n in names.split()]
+
+
+def is_var(term: Term) -> bool:
+    return isinstance(term, Var)
+
+
+@dataclass(frozen=True)
+class Literal:
+    """One body literal: ``pred(args)``, possibly negated.
+
+    ``pred`` may also be a builtin comparison: ``"!="``, ``"=="``, ``"<"``
+    with exactly two args, evaluated against bound values during the join.
+    """
+
+    pred: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    BUILTINS = ("!=", "==", "<", "<=")
+
+    @property
+    def is_builtin(self) -> bool:
+        return self.pred in self.BUILTINS
+
+    def variables(self) -> Set[Var]:
+        return {a for a in self.args if is_var(a)}
+
+    def __repr__(self) -> str:
+        body = f"{self.pred}({', '.join(map(repr, self.args))})"
+        return f"!{body}" if self.negated else body
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``.  A rule with an empty body asserts a fact."""
+
+    head: Literal
+    body: Tuple[Literal, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.head.negated:
+            raise ValueError("rule head cannot be negated")
+        if self.head.is_builtin:
+            raise ValueError("rule head cannot be a builtin")
+        head_vars = self.head.variables()
+        bound: Set[Var] = set()
+        for lit in self.body:
+            if not lit.negated and not lit.is_builtin:
+                bound |= lit.variables()
+        unbound = head_vars - bound - {
+            a for a in self.head.args if not is_var(a)
+        }
+        if self.body and unbound:
+            raise ValueError(
+                f"head variables {sorted(v.name for v in unbound)} "
+                f"not bound by any positive body literal"
+            )
+        for lit in self.body:
+            if lit.negated or lit.is_builtin:
+                if not lit.variables() <= bound:
+                    raise ValueError(
+                        f"negated/builtin literal {lit!r} uses variables "
+                        f"not bound by positive literals"
+                    )
+
+    def predicates_used(self) -> Set[str]:
+        return {l.pred for l in self.body if not l.is_builtin}
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+
+class Program:
+    """A set of rules plus extensional facts."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules or [])
+        self.facts: Dict[str, Set[Tuple]] = {}
+
+    def rule(self, head: Literal, *body: Literal) -> "Program":
+        self.rules.append(Rule(head, tuple(body)))
+        return self
+
+    def fact(self, pred: str, *args) -> "Program":
+        self.facts.setdefault(pred, set()).add(tuple(args))
+        return self
+
+    def add_facts(self, pred: str, rows: Iterable[Sequence]) -> "Program":
+        slot = self.facts.setdefault(pred, set())
+        for row in rows:
+            slot.add(tuple(row))
+        return self
+
+    def idb_predicates(self) -> Set[str]:
+        return {r.head.pred for r in self.rules}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Program rules={len(self.rules)} facts={sum(map(len, self.facts.values()))}>"

@@ -1,0 +1,5 @@
+"""DEvA baseline (the paper's state-of-the-art static comparator)."""
+
+from .analyzer import DevaAnalyzer, DevaWarning, EVENT_HANDLER_NAMES, run_deva
+
+__all__ = ["DevaAnalyzer", "DevaWarning", "EVENT_HANDLER_NAMES", "run_deva"]

@@ -1,0 +1,16 @@
+"""Extensions beyond the paper's core tables (its section 9 directions)."""
+
+from .nosleep import (
+    collect_resource_events,
+    detect_nosleep,
+    LEAKED,
+    NoSleepWarning,
+    RACY_RELEASE,
+    RESOURCE_CONTRACTS,
+    ResourceEvent,
+)
+
+__all__ = [
+    "collect_resource_events", "detect_nosleep", "LEAKED", "NoSleepWarning",
+    "RACY_RELEASE", "RESOURCE_CONTRACTS", "ResourceEvent",
+]

@@ -1,0 +1,234 @@
+"""No-sleep (energy-bug) detection -- the paper's section 9 extension.
+
+Section 9: "nAdroid can be applied to other concurrency bugs such as
+no-sleep bugs [Pathak et al.] and energy bugs where racy API calls lead to
+ordering violations."  This module instantiates that idea over the same
+substrate: instead of getfield/putfield-null pairs, the events are calls
+to *resource acquire/release* API pairs (WakeLock.acquire/release,
+Camera.open/release, MediaPlayer.start/release), and the ordering
+contract is "every acquire is eventually followed by a matching release".
+
+Two severities are reported:
+
+* ``LEAKED`` -- a callback acquires the resource and some path reaches its
+  exit still holding it, and **no other modeled thread** ever releases an
+  aliased resource: the device can never sleep again (the classic
+  no-sleep bug).
+* ``RACY_RELEASE`` -- a leak path exists but some *other* callback does
+  release the aliased resource: whether the device sleeps depends on the
+  event order -- a racy API-call ordering violation.  The severity is
+  downgraded to pruned when a must-happens-before relation guarantees the
+  releasing callback runs after the acquiring one (e.g. release in
+  ``onDestroy``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis.pointsto import HeapObject, PointsToResult
+from ..android.callbacks import SYSTEM_CALLBACKS, UI_CALLBACKS
+from ..android.lifecycle import activity_mhb
+from ..analysis.dataflow import run_forward
+from ..ir import Instruction, Invoke, Method, Module
+from ..threadify.model import ThreadNode
+from ..threadify.transform import ThreadifiedProgram
+
+#: (declaring class, acquire method, release method)
+RESOURCE_CONTRACTS: Tuple[Tuple[str, str, str], ...] = (
+    ("WakeLock", "acquire", "release"),
+    ("Camera", "startPreview", "stopPreview"),
+    ("MediaPlayer", "start", "release"),
+)
+
+LEAKED = "leaked"
+RACY_RELEASE = "racy-release"
+
+
+@dataclass(frozen=True)
+class ResourceEvent:
+    """One acquire or release call site, attributed to a thread node."""
+
+    node_id: int
+    method_qname: str
+    uid: int
+    contract: Tuple[str, str, str]
+    kind: str                     #: "acquire" or "release"
+    objects: FrozenSet[HeapObject]
+
+
+@dataclass
+class NoSleepWarning:
+    """One acquire site that may never be followed by its release."""
+
+    acquire: ResourceEvent
+    severity: str
+    releases: List[ResourceEvent]
+
+    def describe(self, program: ThreadifiedProgram) -> str:
+        node = program.forest.node(self.acquire.node_id)
+        contract = self.acquire.contract
+        lines = [
+            f"no-sleep risk ({self.severity}) on {contract[0]}."
+            f"{contract[1]} in {self.acquire.method_qname}",
+            f"  acquiring thread: {node.describe()}",
+        ]
+        for release in self.releases[:3]:
+            rnode = program.forest.node(release.node_id)
+            lines.append(f"  possible release : {rnode.describe()}")
+        return "\n".join(lines)
+
+
+def _contract_for(module: Module, class_name: str,
+                  method_name: str) -> Optional[Tuple[Tuple[str, str, str], str]]:
+    names = {class_name, *module.supertypes(class_name)}
+    for contract in RESOURCE_CONTRACTS:
+        cls, acq, rel = contract
+        if cls in names:
+            if method_name == acq:
+                return contract, "acquire"
+            if method_name == rel:
+                return contract, "release"
+    return None
+
+
+def collect_resource_events(
+    program: ThreadifiedProgram, pointsto: PointsToResult
+) -> List[ResourceEvent]:
+    """All acquire/release call sites, per owning thread node."""
+    module = program.module
+    method_nodes: Dict[str, List[int]] = {}
+    for node_id, region in program.regions.items():
+        for qname in region:
+            method_nodes.setdefault(qname, []).append(node_id)
+
+    events: List[ResourceEvent] = []
+    for method in module.methods():
+        if not program.is_app_class(method.class_name):
+            continue
+        nodes = method_nodes.get(method.qualified_name)
+        if not nodes:
+            continue
+        for instr in method.instructions():
+            if not isinstance(instr, Invoke) or instr.base is None:
+                continue
+            hit = _contract_for(
+                module, instr.methodref.class_name, instr.methodref.method_name
+            )
+            if hit is None:
+                continue
+            contract, kind = hit
+            objs = frozenset(
+                pointsto.pts(method.qualified_name, instr.base.name)
+            )
+            for node_id in nodes:
+                events.append(
+                    ResourceEvent(
+                        node_id=node_id,
+                        method_qname=method.qualified_name,
+                        uid=instr.uid,
+                        contract=contract,
+                        kind=kind,
+                        objects=objs,
+                    )
+                )
+    return events
+
+
+def _leaks_on_some_path(method: Method, acquire_uid: int,
+                        module: Module) -> bool:
+    """May-analysis: does some path from the acquire reach the method exit
+    without a matching release on the same contract?"""
+    contract_cls = None
+    for instr in method.instructions():
+        if instr.uid == acquire_uid and isinstance(instr, Invoke):
+            hit = _contract_for(module, instr.methodref.class_name,
+                                instr.methodref.method_name)
+            if hit:
+                contract_cls = hit[0]
+    if contract_cls is None:
+        return False
+    _cls, _acq, release_name = contract_cls
+
+    def transfer(instr: Instruction, state: frozenset) -> frozenset:
+        if instr.uid == acquire_uid:
+            return state | {"held"}
+        if isinstance(instr, Invoke) \
+                and instr.methodref.method_name == release_name:
+            return frozenset()
+        return state
+
+    # may-analysis: union at joins -- "held on some path"
+    states = run_forward(method, frozenset(), transfer, lambda a, b: a | b)
+    from ..ir import Return
+
+    for instr in method.instructions():
+        if isinstance(instr, Return):
+            out = transfer(instr, states.get(instr.uid, frozenset()))
+            if "held" in out:
+                return True
+    return False
+
+
+def _release_guaranteed_after(program: ThreadifiedProgram,
+                              acquire_node: ThreadNode,
+                              release_node: ThreadNode) -> bool:
+    """Is the releasing callback guaranteed to run after the acquirer?
+
+    The one statically sound guarantee our model offers: same component,
+    and the release lives in ``onDestroy`` (everything precedes
+    onDestroy, and a destroyed component's teardown always runs)."""
+    if acquire_node.component is None:
+        return False
+    if acquire_node.component != release_node.component:
+        return False
+    return release_node.method_name == "onDestroy" and activity_mhb(
+        acquire_node.method_name, "onDestroy",
+        UI_CALLBACKS | SYSTEM_CALLBACKS,
+    )
+
+
+def detect_nosleep(
+    program: ThreadifiedProgram, pointsto: PointsToResult
+) -> List[NoSleepWarning]:
+    """Find acquire sites that may leave the resource held forever."""
+    module = program.module
+    events = collect_resource_events(program, pointsto)
+    acquires = [e for e in events if e.kind == "acquire"]
+    releases = [e for e in events if e.kind == "release"]
+
+    warnings: Dict[Tuple[int, int], NoSleepWarning] = {}
+    for acquire in acquires:
+        class_name, method_name = acquire.method_qname.rsplit(".", 1)
+        method = module.lookup_method(class_name, method_name)
+        if method is None or not _leaks_on_some_path(method, acquire.uid,
+                                                     module):
+            continue  # released on every local path: no bug
+        matching = [
+            r for r in releases
+            if r.contract == acquire.contract
+            and (r.objects & acquire.objects
+                 or (not r.objects and not acquire.objects))
+            and r.uid != acquire.uid
+            # a partial release on another path of the *same* callback does
+            # not rescue the leak path; only other callbacks/threads count
+            and r.method_qname != acquire.method_qname
+        ]
+        acquire_node = program.forest.node(acquire.node_id)
+        guaranteed = [
+            r for r in matching
+            if _release_guaranteed_after(
+                program, acquire_node, program.forest.node(r.node_id)
+            )
+        ]
+        if guaranteed:
+            continue  # a must-ordered release exists: pruned
+        severity = RACY_RELEASE if matching else LEAKED
+        key = (acquire.uid, acquire.node_id)
+        if key not in warnings:
+            warnings[key] = NoSleepWarning(
+                acquire=acquire, severity=severity, releases=matching
+            )
+    return sorted(warnings.values(),
+                  key=lambda w: (w.acquire.method_qname, w.acquire.uid))

@@ -1,0 +1,30 @@
+"""Happens-before and idiom filters (paper section 6)."""
+
+from .base import Filter, FilterContext, FilterOptions
+from .guards import AllocAnalysis, GuardAnalysis, use_is_benign
+from .pipeline import FilterPipeline, FilterReport
+from .sound import (
+    IfGuardFilter,
+    IntraAllocationFilter,
+    MustHappenBeforeFilter,
+    SOUND_FILTERS,
+)
+from .unsound import (
+    CancelHappensBeforeFilter,
+    MaybeAllocationFilter,
+    MAYHB_FILTER_NAMES,
+    PostHappensBeforeFilter,
+    ResumeHappensBeforeFilter,
+    ThreadThreadFilter,
+    UNSOUND_FILTERS,
+    UsedForReturnFilter,
+)
+
+__all__ = [
+    "AllocAnalysis", "CancelHappensBeforeFilter", "Filter", "FilterContext",
+    "FilterOptions", "FilterPipeline", "FilterReport", "GuardAnalysis",
+    "IfGuardFilter", "IntraAllocationFilter", "MaybeAllocationFilter",
+    "MAYHB_FILTER_NAMES", "MustHappenBeforeFilter", "PostHappensBeforeFilter",
+    "ResumeHappensBeforeFilter", "SOUND_FILTERS", "ThreadThreadFilter",
+    "UNSOUND_FILTERS", "use_is_benign", "UsedForReturnFilter",
+]

@@ -1,0 +1,107 @@
+"""Filter framework: context object and base class (paper section 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis.lockset import LocksetAnalysis
+from ..analysis.pointsto import PointsToResult
+from ..ir import Method, Module
+from ..race.warnings import Occurrence, UafWarning
+from ..threadify.model import ThreadNode
+from ..threadify.transform import ThreadifiedProgram
+from .guards import AllocAnalysis, GuardAnalysis
+
+
+@dataclass
+class FilterOptions:
+    """Pipeline configuration.
+
+    ``assume_single_looper`` is the section-8.1 assumption: every component
+    has exactly one looper thread, making callbacks mutually atomic.  When
+    False, the IG and IA filters lose their atomicity premise for
+    callback-callback pairs and fall back to requiring a common lock
+    (downgrading them to unsound, as the paper notes).
+    """
+
+    assume_single_looper: bool = True
+
+
+class FilterContext:
+    """Shared state and per-method analysis caches for all filters."""
+
+    def __init__(
+        self,
+        program: ThreadifiedProgram,
+        pointsto: PointsToResult,
+        lockset: LocksetAnalysis,
+        options: Optional[FilterOptions] = None,
+    ) -> None:
+        self.program = program
+        self.module: Module = program.module
+        self.pointsto = pointsto
+        self.lockset = lockset
+        self.options = options or FilterOptions()
+        self._guards: Dict[str, GuardAnalysis] = {}
+        self._allocs: Dict[str, AllocAnalysis] = {}
+
+    # -- per-method caches -------------------------------------------------------
+
+    def _method(self, qname: str) -> Method:
+        class_name, method_name = qname.rsplit(".", 1)
+        method = self.module.lookup_method(class_name, method_name)
+        assert method is not None
+        return method
+
+    def guards(self, method_qname: str) -> GuardAnalysis:
+        if method_qname not in self._guards:
+            self._guards[method_qname] = GuardAnalysis(
+                self.module, self._method(method_qname)
+            )
+        return self._guards[method_qname]
+
+    def allocs(self, method_qname: str) -> AllocAnalysis:
+        if method_qname not in self._allocs:
+            self._allocs[method_qname] = AllocAnalysis(
+                self.module, self._method(method_qname)
+            )
+        return self._allocs[method_qname]
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def nodes_of(self, occ: Occurrence) -> Tuple[ThreadNode, ThreadNode]:
+        forest = self.program.forest
+        return forest.node(occ.use.node_id), forest.node(occ.free.node_id)
+
+    def atomic_with_respect_to(self, occ: Occurrence) -> bool:
+        """Is the use's callback atomic w.r.t. the free (no interleaving)?
+
+        True for two callbacks on the same looper (section 2.1 atomicity,
+        under the single-looper assumption), or when both accesses hold a
+        common lock.
+        """
+        use_node, free_node = self.nodes_of(occ)
+        if (
+            self.options.assume_single_looper
+            and self.program.forest.same_looper(use_node, free_node)
+        ):
+            return True
+        return self.lockset.common_lock(occ.use.uid, occ.free.uid)
+
+    def component_kind(self, component: Optional[str]) -> Optional[str]:
+        if component is None:
+            return None
+        decl = self.program.manifest.component(component)
+        return decl.kind if decl is not None else None
+
+
+class Filter:
+    """One pruning rule.  ``prunes`` must be side-effect free."""
+
+    name: str = "base"
+    sound: bool = True
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,145 @@
+"""Filter pipeline: apply sound then unsound filters, with bookkeeping for
+the Figure 5 effectiveness study (individual and combined application)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..race.warnings import UafWarning
+from .base import Filter, FilterContext
+from .sound import SOUND_FILTERS
+from .unsound import UNSOUND_FILTERS
+
+
+@dataclass
+class FilterReport:
+    """Counts as the paper reports them (warnings = instruction pairs)."""
+
+    potential: int
+    after_sound: int
+    after_unsound: int
+    #: warnings each sound filter prunes when applied *individually*
+    sound_individual: Dict[str, int] = field(default_factory=dict)
+    #: warnings (surviving sound) each unsound filter prunes individually
+    unsound_individual: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sound_reduction(self) -> float:
+        return 1.0 - self.after_sound / self.potential if self.potential else 0.0
+
+    @property
+    def unsound_reduction(self) -> float:
+        return (
+            1.0 - self.after_unsound / self.after_sound if self.after_sound else 0.0
+        )
+
+
+class FilterPipeline:
+    """Run the section-6 filters over a list of warnings (in place)."""
+
+    def __init__(
+        self,
+        ctx: FilterContext,
+        sound_filters: Sequence[Filter] = SOUND_FILTERS,
+        unsound_filters: Sequence[Filter] = UNSOUND_FILTERS,
+    ) -> None:
+        self.ctx = ctx
+        self.sound_filters = tuple(sound_filters)
+        self.unsound_filters = tuple(unsound_filters)
+
+    # -- combined application ----------------------------------------------------
+
+    def apply(self, warnings: List[UafWarning],
+              with_individual_stats: bool = True) -> FilterReport:
+        report = FilterReport(
+            potential=len(warnings), after_sound=0, after_unsound=0
+        )
+        if with_individual_stats:
+            for f in self.sound_filters:
+                report.sound_individual[f.name] = self._count_pruned(
+                    warnings, f, require_sound_survivor=False
+                )
+
+        for warning in warnings:
+            for occ in warning.occurrences:
+                for f in self.sound_filters:
+                    if f.prunes(occ, warning, self.ctx):
+                        occ.pruned_by = f.name
+                        break
+
+        survivors = [w for w in warnings if w.survives_sound]
+        report.after_sound = len(survivors)
+        if with_individual_stats:
+            for f in self.unsound_filters:
+                report.unsound_individual[f.name] = self._count_pruned(
+                    survivors, f, require_sound_survivor=True
+                )
+
+        for warning in survivors:
+            for occ in warning.occurrences:
+                if not occ.surviving_sound:
+                    continue
+                for f in self.unsound_filters:
+                    if f.prunes(occ, warning, self.ctx):
+                        occ.downgraded_by = f.name
+                        break
+        report.after_unsound = len([w for w in survivors if w.survives_all])
+        return report
+
+    # -- individual application (Figure 5) ------------------------------------------
+
+    def _count_pruned(self, warnings: Iterable[UafWarning], f: Filter,
+                      require_sound_survivor: bool) -> int:
+        """How many warnings this one filter would prune on its own.
+
+        A warning is pruned when *every* (relevant) occurrence is pruned.
+        """
+        count = 0
+        for warning in warnings:
+            occurrences = [
+                occ for occ in warning.occurrences
+                if not require_sound_survivor or occ.surviving_sound
+            ]
+            if occurrences and all(
+                f.prunes(occ, warning, self.ctx) for occ in occurrences
+            ):
+                count += 1
+        return count
+
+    def count_pruned_group(self, warnings: Iterable[UafWarning],
+                           filters: Sequence[Filter],
+                           require_sound_survivor: bool = False) -> int:
+        """Warnings pruned when a *group* of filters is applied together
+        (a warning falls when each relevant occurrence is pruned by at
+        least one filter of the group) -- used for Figure 5(b)'s combined
+        mayHB bar."""
+        count = 0
+        for warning in warnings:
+            occurrences = [
+                occ for occ in warning.occurrences
+                if not require_sound_survivor or occ.surviving_sound
+            ]
+            if occurrences and all(
+                any(f.prunes(occ, warning, self.ctx) for f in filters)
+                for occ in occurrences
+            ):
+                count += 1
+        return count
+
+    def overlap(self, warnings: List[UafWarning], name_a: str,
+                name_b: str) -> int:
+        """Warnings pruned by both named filters individually (the Figure 5
+        overlap discussion)."""
+        filters = {f.name: f for f in (*self.sound_filters,
+                                       *self.unsound_filters)}
+        fa, fb = filters[name_a], filters[name_b]
+        count = 0
+        for warning in warnings:
+            if warning.occurrences and all(
+                fa.prunes(o, warning, self.ctx) for o in warning.occurrences
+            ) and all(
+                fb.prunes(o, warning, self.ctx) for o in warning.occurrences
+            ):
+                count += 1
+        return count

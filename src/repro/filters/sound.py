@@ -1,0 +1,125 @@
+"""Sound filters (paper section 6.1): MHB, If-Guard, Intra-Allocation."""
+
+from __future__ import annotations
+
+from ..android.callbacks import CallbackCategory, SYSTEM_CALLBACKS, UI_CALLBACKS
+from ..android.lifecycle import (
+    activity_mhb,
+    ASYNCTASK_MHB,
+    SERVICE_CONNECTION_MHB,
+    SERVICE_MHB,
+)
+from ..race.warnings import Occurrence, UafWarning
+from .base import Filter, FilterContext
+
+_NON_LIFECYCLE_CALLBACKS = UI_CALLBACKS | SYSTEM_CALLBACKS
+
+
+class MustHappenBeforeFilter(Filter):
+    """MHB (section 6.1.1): prune when the use must precede the free.
+
+    Three statically sound MHB sources: the Service connection contract,
+    the AsyncTask contract, and the Activity/Service lifecycle automaton
+    (onCreate before everything, everything before onDestroy -- and
+    nothing else, because of the lifecycle back edges).
+    """
+
+    name = "MHB"
+    sound = True
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use_node, free_node = ctx.nodes_of(occ)
+        use_cb = use_node.method_name
+        free_cb = free_node.method_name
+
+        # MHB-Service (connection contract).
+        if (
+            use_node.category is CallbackCategory.SERVICE_CONN
+            and free_node.category is CallbackCategory.SERVICE_CONN
+            and use_node.group_key is not None
+            and use_node.group_key == free_node.group_key
+            and (use_cb, free_cb) in SERVICE_CONNECTION_MHB
+        ):
+            return True
+
+        # MHB-AsyncTask.
+        if (
+            use_node.group_key is not None
+            and use_node.group_key == free_node.group_key
+            and use_node.group_key.startswith("task:")
+            and (use_cb, free_cb) in ASYNCTASK_MHB
+        ):
+            return True
+
+        # MHB-Lifecycle: both callbacks belong to the same component.
+        if (
+            use_node.component is not None
+            and use_node.component == free_node.component
+            and use_node.is_callback
+            and free_node.is_callback
+        ):
+            kind = ctx.component_kind(use_node.component)
+            if kind in ("activity", "application"):
+                if activity_mhb(use_cb, free_cb, _NON_LIFECYCLE_CALLBACKS):
+                    return True
+            elif kind == "service":
+                if (use_cb, free_cb) in SERVICE_MHB:
+                    return True
+        return False
+
+
+class IfGuardFilter(Filter):
+    """IG (section 6.1.2): a null check protecting the use is decisive when
+    the check-to-use window is atomic with respect to the free -- i.e. both
+    are callbacks on the same looper, or a common lock is held."""
+
+    name = "IG"
+    sound = True
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use = occ.use
+        if use.base_local is None:
+            return False  # static-field guards are not tracked
+        method = ctx._method(use.method_qname)
+        from .guards import use_is_pure_check
+
+        if use_is_pure_check(ctx.module, method, use.uid):
+            # the read *is* the guard: its value only feeds null
+            # comparisons and can never be dereferenced
+            return True
+        guards = ctx.guards(use.method_qname)
+        if not guards.use_protected(
+            use.uid, use.base_local,
+            use.fieldref.class_name, use.fieldref.field_name,
+        ):
+            return False
+        return ctx.atomic_with_respect_to(occ)
+
+
+class IntraAllocationFilter(Filter):
+    """IA (section 6.1.3): an allocation (`new`) stored into the field
+    before the use, within the same atomic callback, makes the free
+    unobservable.  Getter-produced values are deliberately *not* accepted
+    here (that is the unsound MA filter)."""
+
+    name = "IA"
+    sound = True
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use = occ.use
+        if use.base_local is None:
+            return False
+        allocs = ctx.allocs(use.method_qname)
+        if not allocs.allocated_at(
+            use.uid, use.base_local,
+            use.fieldref.class_name, use.fieldref.field_name,
+            allow_calls=False,
+        ):
+            return False
+        return ctx.atomic_with_respect_to(occ)
+
+
+SOUND_FILTERS = (MustHappenBeforeFilter(), IfGuardFilter(), IntraAllocationFilter())

@@ -1,0 +1,230 @@
+"""Unsound filters (paper section 6.2): RHB, CHB, PHB, MA, UR, TT.
+
+These encode likely-true may-happens-before relations and common Android
+idioms learned from the training applications.  They are applied after the
+sound filters; pruned warnings are *downgraded* rather than deleted, so a
+soundness-demanding user can still review them (section 6.2's ranking
+interpretation).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..android.api import ApiKind, CANCEL_KINDS
+from ..android.callbacks import CallbackCategory
+from ..ir import Const, Local, PutField
+from ..race.warnings import Occurrence, UafWarning
+from ..threadify.model import ThreadNode
+from ..threadify.resolve import resolve_local_classes
+from .base import Filter, FilterContext
+from .guards import use_is_benign
+
+_UI_LIKE = (CallbackCategory.UI, CallbackCategory.SYSTEM)
+
+
+class ResumeHappensBeforeFilter(Filter):
+    """RHB (6.2.1): a UI callback's use is assumed safe against onPause's
+    free when onResume (may-)reallocates the field -- the "restore
+    invariants on resume" idiom of Figure 4(d)."""
+
+    name = "RHB"
+    sound = False
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use_node, free_node = ctx.nodes_of(occ)
+        if free_node.method_name != "onPause":
+            return False
+        if use_node.category not in _UI_LIKE:
+            return False
+        component = free_node.component
+        if component is None or use_node.component != component:
+            return False
+        on_resume = ctx.module.resolve_method(component, "onResume")
+        if on_resume is None or not on_resume.cfg.blocks:
+            return False
+        field = occ.use.fieldref
+        for instr in on_resume.instructions():
+            if not isinstance(instr, PutField):
+                continue
+            resolved = ctx.module.resolve_field(
+                instr.fieldref.class_name, instr.fieldref.field_name
+            ) or instr.fieldref
+            if (resolved.class_name, resolved.field_name) != (
+                field.class_name, field.field_name,
+            ):
+                continue
+            if not (isinstance(instr.value, Const) and instr.value.is_null()):
+                return True  # may-allocation on some path: assume safe
+        return False
+
+
+class CancelHappensBeforeFilter(Filter):
+    """CHB (6.2.1): when the free's callback (may-)invokes a cancellation
+    API that stops the use's callback from ever running afterwards, the
+    free-then-use order cannot occur (Figure 4(e))."""
+
+    name = "CHB"
+    sound = False
+
+    def _cancel_kinds_in_region(self, ctx: FilterContext,
+                                node: ThreadNode) -> Set[ApiKind]:
+        region = ctx.program.regions.get(node.node_id, set())
+        kinds: Set[ApiKind] = set()
+        for site in ctx.program.api_sites.values():
+            if site.spec.kind in CANCEL_KINDS \
+                    and site.qualified_caller in region:
+                kinds.add(site.spec.kind)
+        return kinds
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use_node, free_node = ctx.nodes_of(occ)
+        if not use_node.is_callback:
+            return False  # cancellation cannot stop a running native thread
+        kinds = self._cancel_kinds_in_region(ctx, free_node)
+        if not kinds:
+            return False
+        category = use_node.category
+        finish_cancellable = category in _UI_LIKE or (
+            category is CallbackCategory.LIFECYCLE
+            # after finish() the activity only walks the teardown path;
+            # the (re)start-side callbacks can no longer fire
+            and use_node.method_name in (
+                "onCreate", "onStart", "onRestart", "onResume",
+            )
+        )
+        if ApiKind.CANCEL_FINISH in kinds and finish_cancellable:
+            # finish() stops UI/system callbacks of the same activity.
+            if (
+                use_node.component is not None
+                and use_node.component == free_node.component
+            ):
+                return True
+        if ApiKind.CANCEL_UNBIND in kinds \
+                and category is CallbackCategory.SERVICE_CONN:
+            return True
+        if ApiKind.CANCEL_UNREGISTER in kinds and category in (
+            CallbackCategory.RECEIVER, CallbackCategory.UI,
+            CallbackCategory.SYSTEM,
+        ):
+            if category is CallbackCategory.RECEIVER:
+                return True
+            # removeUpdates / unregisterListener: match the listener class.
+            if self._unregisters_class(ctx, free_node, use_node.receiver_class):
+                return True
+        if ApiKind.CANCEL_REMOVE_POSTS in kinds and category in (
+            CallbackCategory.POSTED_RUNNABLE, CallbackCategory.HANDLER_MESSAGE,
+        ):
+            return True
+        if ApiKind.CANCEL_ASYNCTASK in kinds and category in (
+            CallbackCategory.ASYNC_PRE, CallbackCategory.ASYNC_PROGRESS,
+            CallbackCategory.ASYNC_POST,
+        ):
+            return True
+        return False
+
+    def _unregisters_class(self, ctx: FilterContext, free_node: ThreadNode,
+                           listener_class: str) -> bool:
+        region = ctx.program.regions.get(free_node.node_id, set())
+        from ..analysis.callgraph import instantiated_classes
+
+        rta = instantiated_classes(ctx.module)
+        for site in ctx.program.api_sites.values():
+            if site.spec.kind is not ApiKind.CANCEL_UNREGISTER:
+                continue
+            if site.qualified_caller not in region:
+                continue
+            if site.spec.callback_arg is None:
+                return True
+            arg = site.invoke.args[site.spec.callback_arg]
+            if not isinstance(arg, Local):
+                continue
+            classes = resolve_local_classes(ctx.module, site.method, arg, rta)
+            if not classes or listener_class in classes:
+                return True
+        return False
+
+
+class PostHappensBeforeFilter(Filter):
+    """PHB (6.2.1): a poster and its postee on the same looper are ordered
+    (the callback completes before its posted event runs), so a pair along
+    a post chain is not a race -- unsound when one UI callback instance
+    re-fires (Figure 4(f))."""
+
+    name = "PHB"
+    sound = False
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use_node, free_node = ctx.nodes_of(occ)
+        if not ctx.program.forest.same_looper(use_node, free_node):
+            return False
+        return free_node in use_node.ancestors() \
+            or use_node in free_node.ancestors()
+
+
+class MaybeAllocationFilter(Filter):
+    """MA (6.2.2): like IA, but accepts getter-call results on the
+    assumption that custom getters never return null (Figure 4(a))."""
+
+    name = "MA"
+    sound = False
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use = occ.use
+        if use.base_local is None:
+            return False
+        allocs = ctx.allocs(use.method_qname)
+        if not allocs.allocated_at(
+            use.uid, use.base_local,
+            use.fieldref.class_name, use.fieldref.field_name,
+            allow_calls=True,
+        ):
+            return False
+        return ctx.atomic_with_respect_to(occ)
+
+
+class UsedForReturnFilter(Filter):
+    """UR (6.2.3): prune uses whose value is only returned, passed as an
+    argument, or null-compared -- never locally dereferenced."""
+
+    name = "UR"
+    sound = False
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use = occ.use
+        class_name, method_name = use.method_qname.rsplit(".", 1)
+        method = ctx.module.lookup_method(class_name, method_name)
+        if method is None:
+            return False
+        return use_is_benign(ctx.module, method, use.uid)
+
+
+class ThreadThreadFilter(Filter):
+    """TT (6.2.4): races purely between native threads are the classic,
+    well-studied kind; nAdroid focuses on pairs involving a looper."""
+
+    name = "TT"
+    sound = False
+
+    def prunes(self, occ: Occurrence, warning: UafWarning,
+               ctx: FilterContext) -> bool:
+        use_node, free_node = ctx.nodes_of(occ)
+        return use_node.is_native and free_node.is_native
+
+
+UNSOUND_FILTERS = (
+    ResumeHappensBeforeFilter(),
+    CancelHappensBeforeFilter(),
+    PostHappensBeforeFilter(),
+    MaybeAllocationFilter(),
+    UsedForReturnFilter(),
+    ThreadThreadFilter(),
+)
+
+#: The paper groups RHB+CHB+PHB as "mayHB" in Figure 5(b).
+MAYHB_FILTER_NAMES = ("RHB", "CHB", "PHB")

@@ -1,0 +1,128 @@
+"""Table 3 driver: comparison against the DEvA baseline (paper 8.7).
+
+Methodology follows the paper: run DEvA on the train applications and take
+every warning it marks harmful; then check (a) whether nAdroid detects the
+same use/free pair -- judged against nAdroid's report with only the sound
+IG/IA filters applied, matching DEvA's own definition of harmful -- and
+(b) whether nAdroid's full filter chain prunes it.
+
+Paper outcome: nAdroid detects 12 of DEvA's 13 harmful warnings (the
+exception is the Browser Fragment case the prototype cannot model) and
+filters 11 of the 12 as false, agreeing with only one.  Conversely DEvA
+misses every cross-class and cross-thread true UAF nAdroid reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..corpus import train_apps
+from ..deva import DevaWarning, run_deva
+from .render import render_table
+from .table1 import analyze_corpus_app
+
+
+@dataclass
+class Table3Row:
+    app: str
+    deva_warning: DevaWarning
+    nadroid_detected: bool
+    nadroid_filtered: bool
+    filtered_by: str = ""
+
+    @property
+    def verdict(self) -> str:
+        if not self.nadroid_detected:
+            return "Not detected"
+        if self.nadroid_filtered:
+            return "Detected & Filtered"
+        return "Detected & Reported"
+
+
+def run_table3() -> List[Table3Row]:
+    rows: List[Table3Row] = []
+    for spec in train_apps():
+        result = analyze_corpus_app(spec)
+        deva_warnings = run_deva(result.program.module)
+        nadroid_by_key = {w.key: w for w in result.warnings}
+        for dw in deva_warnings:
+            if not dw.harmful:
+                continue
+            warning = nadroid_by_key.get(dw.key)
+            detected = warning is not None
+            filtered = detected and not warning.survives_all
+            filtered_by = ""
+            if detected and filtered:
+                names = warning.pruning_filters()
+                filtered_by = ",".join(sorted(names))
+            rows.append(
+                Table3Row(
+                    app=spec.name,
+                    deva_warning=dw,
+                    nadroid_detected=detected,
+                    nadroid_filtered=filtered,
+                    filtered_by=filtered_by,
+                )
+            )
+    return rows
+
+
+def summarize_table3(rows: List[Table3Row]) -> Dict[str, int]:
+    return {
+        "deva_harmful": len(rows),
+        "nadroid_detected": sum(1 for r in rows if r.nadroid_detected),
+        "nadroid_filtered": sum(1 for r in rows if r.nadroid_filtered),
+        "agreed_harmful": sum(
+            1 for r in rows if r.nadroid_detected and not r.nadroid_filtered
+        ),
+        "not_detected": sum(1 for r in rows if not r.nadroid_detected),
+    }
+
+
+def nadroid_only_true_uafs() -> Dict[str, int]:
+    """True UAFs nAdroid reports that DEvA's harmful set misses entirely
+    (the false-negative direction of the comparison)."""
+    missed_by_deva: Dict[str, int] = {}
+    for spec in train_apps():
+        if not spec.true_uaf_fields:
+            continue
+        result = analyze_corpus_app(spec)
+        deva_keys = {
+            w.key for w in run_deva(result.program.module) if w.harmful
+        }
+        count = sum(
+            1 for w in result.remaining()
+            if w.fieldref.field_name in spec.true_uaf_fields
+            and w.key not in deva_keys
+        )
+        if count:
+            missed_by_deva[spec.name] = count
+    return missed_by_deva
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    body = [
+        (
+            r.app,
+            r.deva_warning.field_name,
+            r.deva_warning.use_method,
+            r.deva_warning.free_method,
+            r.verdict + (f" ({r.filtered_by})" if r.filtered_by else ""),
+        )
+        for r in rows
+    ]
+    table = render_table(
+        ["APP", "Field", "Use Callback", "Free Callback", "nAdroid"], body
+    )
+    s = summarize_table3(rows)
+    deva_misses = nadroid_only_true_uafs()
+    return (
+        f"{table}\n\n"
+        f"DEvA harmful: {s['deva_harmful']}; nAdroid detects "
+        f"{s['nadroid_detected']}, filters {s['nadroid_filtered']}, agrees on "
+        f"{s['agreed_harmful']}, cannot model {s['not_detected']} "
+        f"(paper: 13 / 12 / 11 / 1 / 1)\n"
+        f"True UAFs nAdroid reports that DEvA misses: "
+        f"{sum(deva_misses.values())} across {sorted(deva_misses)}"
+    )

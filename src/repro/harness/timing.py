@@ -1,0 +1,61 @@
+"""Section 8.8 driver: analysis execution-time breakdown.
+
+The paper reports modeling at 1.19%, filtering at 3.08% and static
+detection dominating at 95.73% of the pipeline's wall-clock time.  The
+shape to preserve: detection is the overwhelmingly dominant stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..corpus import all_apps, AppSpec
+from .render import render_table
+from .table1 import analyze_corpus_app
+
+STAGES = ("modeling", "detection", "filtering")
+
+
+@dataclass
+class TimingData:
+    per_app: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def totals(self) -> Dict[str, float]:
+        totals = {stage: 0.0 for stage in STAGES}
+        for timings in self.per_app.values():
+            for stage in STAGES:
+                totals[stage] += timings.get(stage, 0.0)
+        return totals
+
+    def fractions(self) -> Dict[str, float]:
+        totals = self.totals()
+        overall = sum(totals.values()) or 1.0
+        return {stage: totals[stage] / overall for stage in STAGES}
+
+    @property
+    def dominant_stage(self) -> str:
+        return max(self.totals(), key=self.totals().get)
+
+
+def run_timing(apps: Optional[List[AppSpec]] = None) -> TimingData:
+    data = TimingData()
+    for spec in (apps if apps is not None else all_apps()):
+        result = analyze_corpus_app(spec)
+        data.per_app[spec.name] = dict(result.timings)
+    return data
+
+
+def render_timing(data: TimingData) -> str:
+    totals = data.totals()
+    fractions = data.fractions()
+    rows = [
+        (stage, f"{totals[stage]:.3f}s", f"{100 * fractions[stage]:.2f}%")
+        for stage in STAGES
+    ]
+    table = render_table(["Stage", "Total", "Share"], rows)
+    return (
+        f"{table}\n\n"
+        f"Dominant stage: {data.dominant_stage} "
+        f"(paper: detection at 95.73%, modeling 1.19%, filtering 3.08%)"
+    )

@@ -1,0 +1,61 @@
+"""MiniDroid intermediate representation.
+
+Three-address instructions grouped into basic blocks, per-method control
+flow graphs, and module-level class tables.  This is the interchange format
+between the frontend (:mod:`repro.lang` / :mod:`repro.lowering`), the
+threadifier (:mod:`repro.threadify`), the static analyses
+(:mod:`repro.analysis`) and the dynamic interpreter (:mod:`repro.runtime`).
+"""
+
+from .builder import IRBuilder
+from .cfg import BasicBlock, ControlFlowGraph
+from .instructions import (
+    Assign,
+    BinaryOp,
+    Const,
+    FieldRef,
+    GetField,
+    GetStatic,
+    Goto,
+    If,
+    Instruction,
+    Invoke,
+    Local,
+    MethodRef,
+    MonitorEnter,
+    MonitorExit,
+    New,
+    Operand,
+    PutField,
+    PutStatic,
+    Return,
+    Throw,
+    UnaryOp,
+)
+from .module import ClassDef, Field, Method, Module, Parameter
+from .printer import format_class, format_method, format_module
+from .types import (
+    BOOLEAN,
+    INT,
+    LONG,
+    NULL,
+    STRING,
+    VOID,
+    ClassType,
+    PrimitiveType,
+    Type,
+    is_assignable,
+    parse_type,
+)
+from .verifier import verify_method, verify_module
+
+__all__ = [
+    "Assign", "BasicBlock", "BinaryOp", "BOOLEAN", "ClassDef", "ClassType",
+    "Const", "ControlFlowGraph", "Field", "FieldRef", "format_class",
+    "format_method", "format_module", "GetField", "GetStatic", "Goto", "If",
+    "Instruction", "INT", "Invoke", "IRBuilder", "is_assignable", "Local",
+    "LONG", "Method", "MethodRef", "Module", "MonitorEnter", "MonitorExit",
+    "New", "NULL", "Operand", "Parameter", "parse_type", "PrimitiveType",
+    "PutField", "PutStatic", "Return", "STRING", "Throw", "Type", "UnaryOp",
+    "verify_method", "verify_module", "VOID",
+]

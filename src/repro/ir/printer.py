@@ -1,0 +1,49 @@
+"""Human-readable dumps of IR modules, classes and methods.
+
+The textual form is for debugging and golden tests; it is not re-parsed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .module import ClassDef, Method, Module
+
+
+def format_method(method: Method) -> str:
+    flags = []
+    if method.is_static:
+        flags.append("static")
+    if method.is_synchronized:
+        flags.append("synchronized")
+    prefix = (" ".join(flags) + " ") if flags else ""
+    params = ", ".join(f"{p.type} {p.name}" for p in method.params)
+    lines = [f"{prefix}{method.return_type} {method.qualified_name}({params}) {{"]
+    for block in method.cfg.block_order():
+        lines.append(f"  {block.label}:")
+        for instr in block.instructions:
+            lines.append(f"    {instr}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_class(cls: ClassDef) -> str:
+    kind = "interface" if cls.is_interface else "class"
+    header = f"{kind} {cls.name}"
+    if cls.super_name:
+        header += f" extends {cls.super_name}"
+    if cls.interfaces:
+        header += " implements " + ", ".join(cls.interfaces)
+    lines: List[str] = [header + " {"]
+    for f in cls.fields.values():
+        static = "static " if f.is_static else ""
+        lines.append(f"  {static}{f.type} {f.name};")
+    for method in cls.methods.values():
+        body = format_method(method)
+        lines.extend("  " + line for line in body.splitlines())
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    return "\n\n".join(format_class(c) for c in module.classes.values())

@@ -1,0 +1,91 @@
+"""Type model for the MiniDroid IR.
+
+The IR is deliberately small: a handful of primitive types plus named
+reference types.  Types are interned value objects -- two references to
+``ClassType("A")`` compare equal and hash equally -- so analyses can use
+them freely as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all IR types."""
+
+    name: str
+
+    def is_reference(self) -> bool:
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class PrimitiveType(Type):
+    """A primitive value type (int, boolean, void)."""
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A named reference type (a class or interface)."""
+
+    def is_reference(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class NullType(Type):
+    """The type of the ``null`` literal; subtype of every reference type."""
+
+    def is_reference(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    """Strings are reference types but opaque to the race analysis."""
+
+    def is_reference(self) -> bool:
+        return True
+
+
+INT = PrimitiveType("int")
+BOOLEAN = PrimitiveType("boolean")
+LONG = PrimitiveType("long")
+VOID = PrimitiveType("void")
+NULL = NullType("null")
+STRING = StringType("String")
+
+_PRIMITIVES = {t.name: t for t in (INT, BOOLEAN, LONG, VOID)}
+
+
+def parse_type(name: str) -> Type:
+    """Resolve a source-level type name to an IR type.
+
+    Unknown names become :class:`ClassType`; the frontend performs its own
+    existence checks against the class table and the Android framework
+    registry, so this function never fails.
+    """
+    if name in _PRIMITIVES:
+        return _PRIMITIVES[name]
+    if name == "String":
+        return STRING
+    return ClassType(name)
+
+
+def is_assignable(target: Type, value: Type) -> bool:
+    """Shallow assignability check used by the IR verifier.
+
+    Reference types are mutually assignable (the frontend checks the class
+    hierarchy; the IR stays permissive so synthetic code such as the dummy
+    main does not need precise types).
+    """
+    if target == value:
+        return True
+    if target.is_reference() and value.is_reference():
+        return True
+    return False

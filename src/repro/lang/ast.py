@@ -1,0 +1,230 @@
+"""Abstract syntax tree for the MiniDroid dialect.
+
+The AST mirrors the source closely; all desugaring (anonymous classes,
+implicit ``this``, field initializers, chained accesses) happens in the
+lowering pass.  Every node carries its source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class ThisExpr(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier: a local, parameter, field, or class name.
+
+    Disambiguated during lowering against the lexical scope, the class
+    hierarchy, and the module class table.
+    """
+
+    ident: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``target.name`` -- instance field read, or static read when ``target``
+    names a class."""
+
+    target: Expr
+    name: str
+
+
+@dataclass
+class Call(Expr):
+    """``target.name(args)``; ``target is None`` means an implicit-this or
+    same-class-static call."""
+
+    target: Optional[Expr]
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class SuperCall(Expr):
+    """``super.name(args)`` -- used by lifecycle callbacks."""
+
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class NewExpr(Expr):
+    """``new ClassName(args)`` with an optional anonymous-class body."""
+
+    class_name: str
+    args: List[Expr]
+    body: Optional[List["MemberDecl"]] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assignment(Expr):
+    """``target = value``; target must be a Name or FieldAccess."""
+
+    target: Expr
+    value: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    type_name: str
+    name: str
+    init: Optional[Expr]
+    is_final: bool = False
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class ThrowStmt(Stmt):
+    exception: str
+
+
+@dataclass
+class SyncStmt(Stmt):
+    """``synchronized (lock) { ... }``"""
+
+    lock: Expr
+    body: Block
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemberDecl:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class FieldDecl(MemberDecl):
+    type_name: str
+    name: str
+    init: Optional[Expr]
+    is_static: bool = False
+
+
+@dataclass
+class ParamDecl:
+    type_name: str
+    name: str
+
+
+@dataclass
+class MethodDecl(MemberDecl):
+    return_type: str
+    name: str
+    params: List[ParamDecl]
+    body: Block
+    is_static: bool = False
+    is_synchronized: bool = False
+    is_constructor: bool = False
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    super_name: Optional[str]
+    interfaces: List[str]
+    members: List[MemberDecl]
+    is_interface: bool = False
+    line: int = 0
+
+    def field_decls(self) -> List[FieldDecl]:
+        return [m for m in self.members if isinstance(m, FieldDecl)]
+
+    def method_decls(self) -> List[MethodDecl]:
+        return [m for m in self.members if isinstance(m, MethodDecl)]
+
+
+@dataclass
+class Program:
+    classes: List[ClassDecl]
+    filename: str = "<source>"

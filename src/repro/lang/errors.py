@@ -1,0 +1,28 @@
+"""Source-level diagnostics for the MiniDroid frontend."""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """An error attributed to a location in a MiniDroid source file."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 filename: str = "<source>") -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        self.filename = filename
+        super().__init__(f"{filename}:{line}:{column}: {message}")
+
+
+class LexError(SourceError):
+    """Unrecognized or malformed token."""
+
+
+class ParseError(SourceError):
+    """Token stream does not match the MiniDroid grammar."""
+
+
+class LoweringError(SourceError):
+    """AST is grammatical but cannot be translated to IR (e.g. unresolved
+    name, assignment to a non-lvalue, capture of a mutated local)."""

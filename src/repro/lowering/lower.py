@@ -1,0 +1,901 @@
+"""Lowering: MiniDroid AST -> MiniDroid IR.
+
+Responsibilities beyond straightforward translation:
+
+* **Name resolution** -- identifiers resolve, in order, to method locals and
+  parameters, fields of the enclosing class (including inherited ones),
+  fields of lexically enclosing classes (through the synthetic ``$outer``
+  chain of anonymous classes), and finally class names (for static access).
+* **Anonymous classes** -- ``new Iface() { ... }`` is desugared to a fresh
+  class ``Outer$n`` with a synthetic ``$outer`` field and one ``$cap_x``
+  field per captured enclosing local; the allocation site wires these
+  fields before invoking the (possibly synthesized) initializer.
+* **Field initializers** -- instance initializers are prepended to every
+  constructor (a constructor is synthesized when the class declares none);
+  static initializers go into a synthesized ``<clinit>``.
+* **Short-circuit `&&`/`||`** -- lowered to control flow over a temporary.
+* **Static type tracking** -- each local's static type is tracked so virtual
+  call sites carry the declared receiver class, which the call-graph and
+  points-to analyses use for dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import (
+    BOOLEAN,
+    ClassDef,
+    ClassType,
+    Const,
+    Field,
+    FieldRef,
+    INT,
+    IRBuilder,
+    Local,
+    Method,
+    MethodRef,
+    Module,
+    Operand,
+    Parameter,
+    STRING,
+    Type,
+    VOID,
+    parse_type,
+)
+from ..lang import ast
+from ..lang.errors import LoweringError
+
+
+class _Scope:
+    """Lexical scope of locals within one method body."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.vars: Dict[str, Type] = {}
+
+    def declare(self, name: str, type_: Type) -> None:
+        self.vars[name] = type_
+
+    def lookup(self, name: str) -> Optional[Type]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def all_names(self) -> Set[str]:
+        names: Set[str] = set()
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            names.update(scope.vars)
+            scope = scope.parent
+        return names
+
+
+def _free_identifiers(members: List[ast.MemberDecl]) -> Set[str]:
+    """Names that *might* be free in an anonymous class body.
+
+    Over-approximates: collects every ``Name`` identifier in the member
+    bodies that is not declared as a field of the anonymous class itself.
+    Locals declared inside anonymous methods shadow captures at resolution
+    time, so over-collection only costs an unused capture field.
+    """
+    own_fields = {m.name for m in members if isinstance(m, ast.FieldDecl)}
+    found: Set[str] = set()
+
+    def walk_expr(expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Name):
+            found.add(expr.ident)
+        elif isinstance(expr, ast.FieldAccess):
+            walk_expr(expr.target)
+        elif isinstance(expr, ast.Call):
+            walk_expr(expr.target)
+            for a in expr.args:
+                walk_expr(a)
+        elif isinstance(expr, ast.SuperCall):
+            for a in expr.args:
+                walk_expr(a)
+        elif isinstance(expr, ast.NewExpr):
+            for a in expr.args:
+                walk_expr(a)
+            if expr.body:
+                nested_fields = {
+                    m.name for m in expr.body if isinstance(m, ast.FieldDecl)
+                }
+                for name in _free_identifiers(expr.body):
+                    if name not in nested_fields:
+                        found.add(name)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+        elif isinstance(expr, ast.Assignment):
+            walk_expr(expr.target)
+            walk_expr(expr.value)
+
+    def walk_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for s in stmt.statements:
+                walk_stmt(s)
+        elif isinstance(stmt, ast.VarDecl):
+            walk_expr(stmt.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            walk_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.then_branch)
+            if stmt.else_branch:
+                walk_stmt(stmt.else_branch)
+        elif isinstance(stmt, ast.WhileStmt):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.ReturnStmt):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, ast.SyncStmt):
+            walk_expr(stmt.lock)
+            walk_stmt(stmt.body)
+
+    for member in members:
+        if isinstance(member, ast.FieldDecl):
+            walk_expr(member.init)
+        elif isinstance(member, ast.MethodDecl):
+            walk_stmt(member.body)
+    return found - own_fields
+
+
+class Lowerer:
+    """Lower a batch of AST programs into one sealed IR module."""
+
+    def __init__(self, module: Module, filename: str = "<source>") -> None:
+        self.module = module
+        self.filename = filename
+        self._anon_counters: Dict[str, int] = {}
+        # Anonymous-class info: class name -> (enclosing class name, captures)
+        self.anon_info: Dict[str, Tuple[str, List[Tuple[str, Type]]]] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration pass
+    # ------------------------------------------------------------------
+
+    def _method_decls_with_synthetics(self, decl: ast.ClassDecl):
+        """Method declarations plus a synthesized constructor when instance
+        field initializers exist but no constructor was written."""
+        instance_inits = [
+            f for f in decl.field_decls() if f.init is not None and not f.is_static
+        ]
+        method_decls = decl.method_decls()
+        has_ctor = any(m.is_constructor for m in method_decls)
+        if not has_ctor and instance_inits and not decl.is_interface:
+            method_decls = [
+                ast.MethodDecl(
+                    return_type="void",
+                    name="<init>",
+                    params=[],
+                    body=ast.Block([], line=decl.line),
+                    is_constructor=True,
+                    line=decl.line,
+                )
+            ] + method_decls
+        return method_decls
+
+    def declare_program(self, program: ast.Program) -> None:
+        """First pass: classes, fields and method *signatures*, so bodies
+        lowered later can resolve forward references."""
+        for decl in program.classes:
+            if self.module.lookup_class(decl.name) is not None:
+                raise LoweringError(
+                    f"duplicate class {decl.name}", decl.line, 0, self.filename
+                )
+            # Java semantics: a class without `extends` derives from Object.
+            super_name = decl.super_name
+            if super_name is None and not decl.is_interface \
+                    and decl.name != "Object":
+                super_name = "Object"
+            cls = ClassDef(
+                decl.name,
+                super_name=super_name,
+                interfaces=list(decl.interfaces),
+                is_interface=decl.is_interface,
+                line=decl.line,
+            )
+            for fdecl in decl.field_decls():
+                cls.add_field(
+                    Field(
+                        fdecl.name,
+                        parse_type(fdecl.type_name),
+                        is_static=fdecl.is_static,
+                        line=fdecl.line,
+                    )
+                )
+            for mdecl in self._method_decls_with_synthetics(decl):
+                if decl.is_interface and not mdecl.body.statements:
+                    pass  # abstract: still declared, never given a body
+                cls.add_method(
+                    Method(
+                        decl.name,
+                        mdecl.name,
+                        params=[
+                            Parameter(p.name, parse_type(p.type_name))
+                            for p in mdecl.params
+                        ],
+                        return_type=parse_type(mdecl.return_type),
+                        is_static=mdecl.is_static,
+                        is_synchronized=mdecl.is_synchronized,
+                        line=mdecl.line,
+                    )
+                )
+            static_inits = [
+                f for f in decl.field_decls() if f.init is not None and f.is_static
+            ]
+            if static_inits:
+                cls.add_method(
+                    Method(decl.name, "<clinit>", is_static=True, line=decl.line)
+                )
+            self.module.add_class(cls)
+
+    # ------------------------------------------------------------------
+    # Body pass
+    # ------------------------------------------------------------------
+
+    def lower_program(self, program: ast.Program) -> None:
+        for decl in program.classes:
+            self._lower_class(decl)
+
+    def _lower_class(self, decl: ast.ClassDecl) -> None:
+        cls = self.module.lookup_class(decl.name)
+        assert cls is not None
+        instance_inits = [
+            f for f in decl.field_decls() if f.init is not None and not f.is_static
+        ]
+        static_inits = [
+            f for f in decl.field_decls() if f.init is not None and f.is_static
+        ]
+
+        for mdecl in self._method_decls_with_synthetics(decl):
+            if decl.is_interface and not mdecl.body.statements:
+                continue  # abstract interface method: no IR body
+            method = cls.methods[mdecl.name]
+            body = _MethodLowerer(self, method)
+            if mdecl.is_constructor:
+                for fdecl in instance_inits:
+                    body.lower_field_init(fdecl)
+            body.lower_body(mdecl.body)
+
+        if static_inits:
+            method = cls.methods["<clinit>"]
+            body = _MethodLowerer(self, method)
+            for fdecl in static_inits:
+                body.lower_static_field_init(fdecl)
+            body.finish()
+
+    # ------------------------------------------------------------------
+    # Anonymous-class support
+    # ------------------------------------------------------------------
+
+    def fresh_anon_name(self, enclosing: str) -> str:
+        count = self._anon_counters.get(enclosing, 0) + 1
+        self._anon_counters[enclosing] = count
+        return f"{enclosing}${count}"
+
+
+class _MethodLowerer:
+    """Lower one method body; spawned recursively for anonymous classes."""
+
+    def __init__(self, lowerer: Lowerer, method: Method) -> None:
+        self.lowerer = lowerer
+        self.module = lowerer.module
+        self.filename = lowerer.filename
+        self.method = method
+        self.builder = IRBuilder(method)
+        self.scope = _Scope()
+        self.types: Dict[str, Type] = {}
+        self_type = ClassType(method.class_name)
+        if not method.is_static:
+            self.scope.declare("this", self_type)
+            self.types["this"] = self_type
+        for param in method.params:
+            self.scope.declare(param.name, param.type)
+            self.types[param.name] = param.type
+        self._sync_lock_stack: List[Local] = []
+
+    # -- diagnostics ---------------------------------------------------
+
+    def _error(self, message: str, line: int) -> LoweringError:
+        return LoweringError(
+            f"in {self.method.qualified_name}: {message}", line, 0, self.filename
+        )
+
+    # -- type helpers ----------------------------------------------------
+
+    def _type_of(self, operand: Operand) -> Type:
+        if isinstance(operand, Local):
+            return self.types.get(operand.name, ClassType("Object"))
+        value = operand.value
+        if value is None:
+            return parse_type("null")
+        if isinstance(value, bool):
+            return BOOLEAN
+        if isinstance(value, int):
+            return INT
+        return STRING
+
+    def _record(self, local: Local, type_: Type) -> Local:
+        self.types[local.name] = type_
+        return local
+
+    # -- field / method resolution -----------------------------------------
+
+    def _find_field(self, class_name: str, field_name: str) -> Optional[FieldRef]:
+        return self.module.resolve_field(class_name, field_name)
+
+    def _outer_chain_to_field(
+        self, field_name: str, line: int
+    ) -> Optional[Tuple[Local, FieldRef]]:
+        """Follow ``$outer`` links until a class declaring ``field_name``."""
+        if self.method.is_static:
+            return None
+        base = Local("this")
+        class_name = self.method.class_name
+        hops = 0
+        while hops < 32:
+            ref = self._find_field(class_name, field_name)
+            if ref is not None:
+                return base, ref
+            outer_ref = self._find_field(class_name, "$outer")
+            if outer_ref is None:
+                return None
+            base = self._record(
+                self.builder.get_field(base, outer_ref, line=line),
+                self._field_type(outer_ref),
+            )
+            class_name = self._field_type(outer_ref).name
+            hops += 1
+        return None
+
+    def _field_type(self, ref: FieldRef) -> Type:
+        cls = self.module.lookup_class(ref.class_name)
+        if cls is not None and ref.field_name in cls.fields:
+            return cls.fields[ref.field_name].type
+        return ClassType("Object")
+
+    def _outer_chain_to_method(
+        self, method_name: str, line: int
+    ) -> Optional[Tuple[Local, str]]:
+        """Follow ``$outer`` links to a class whose hierarchy has the method."""
+        if self.method.is_static:
+            return None
+        base = Local("this")
+        class_name = self.method.class_name
+        hops = 0
+        while hops < 32:
+            if self.module.resolve_method(class_name, method_name) is not None:
+                return base, class_name
+            outer_ref = self._find_field(class_name, "$outer")
+            if outer_ref is None:
+                return None
+            base = self._record(
+                self.builder.get_field(base, outer_ref, line=line),
+                self._field_type(outer_ref),
+            )
+            class_name = self._field_type(outer_ref).name
+            hops += 1
+        return None
+
+    # -- entry points -----------------------------------------------------
+
+    def lower_field_init(self, fdecl: ast.FieldDecl) -> None:
+        value = self.lower_expr(fdecl.init)
+        ref = self._find_field(self.method.class_name, fdecl.name)
+        assert ref is not None
+        self.builder.put_field(Local("this"), ref, value, line=fdecl.line)
+
+    def lower_static_field_init(self, fdecl: ast.FieldDecl) -> None:
+        value = self.lower_expr(fdecl.init)
+        ref = FieldRef(self.method.class_name, fdecl.name)
+        self.builder.put_static(ref, value, line=fdecl.line)
+
+    def lower_body(self, body: ast.Block) -> None:
+        if self.method.is_synchronized and not self.method.is_static:
+            self.builder.monitor_enter(Local("this"), line=self.method.line)
+        self.lower_block(body)
+        if self.method.is_synchronized and not self.method.is_static:
+            if not self.builder.terminated:
+                self.builder.monitor_exit(Local("this"), line=self.method.line)
+        self.finish()
+
+    def finish(self) -> None:
+        self.builder.finish()
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_block(self, block: ast.Block) -> None:
+        self.scope = _Scope(self.scope)
+        for stmt in block.statements:
+            self.lower_stmt(stmt)
+        assert self.scope.parent is not None
+        self.scope = self.scope.parent
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            for lock in reversed(self._sync_lock_stack):
+                self.builder.monitor_exit(lock, line=stmt.line)
+            if self.method.is_synchronized and not self.method.is_static:
+                self.builder.monitor_exit(Local("this"), line=stmt.line)
+            self.builder.ret(value, line=stmt.line)
+        elif isinstance(stmt, ast.ThrowStmt):
+            self.builder.throw(stmt.exception, line=stmt.line)
+        elif isinstance(stmt, ast.SyncStmt):
+            self._lower_sync(stmt)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self._error(f"cannot lower statement {type(stmt).__name__}", stmt.line)
+
+    def _lower_var_decl(self, stmt: ast.VarDecl) -> None:
+        declared = parse_type(stmt.type_name)
+        self.scope.declare(stmt.name, declared)
+        self.types[stmt.name] = declared
+        if stmt.init is not None:
+            value = self.lower_expr(stmt.init)
+            self.builder.assign(stmt.name, value, line=stmt.line)
+            if isinstance(value, Local) and declared.name == "Object":
+                self.types[stmt.name] = self._type_of(value)
+        else:
+            self.builder.assign(stmt.name, Const(None), line=stmt.line)
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_label = self.builder.fresh_label("then")
+        else_label = self.builder.fresh_label("else")
+        join_label = self.builder.fresh_label("join")
+        self.builder.branch(
+            cond, then_label, else_label if stmt.else_branch else join_label,
+            line=stmt.line,
+        )
+        self.builder.position_at_new_block(then_label)
+        self.lower_stmt(stmt.then_branch)
+        self.builder.goto(join_label, line=stmt.line)
+        if stmt.else_branch is not None:
+            self.builder.position_at_new_block(else_label)
+            self.lower_stmt(stmt.else_branch)
+            self.builder.goto(join_label, line=stmt.line)
+        self.builder.position_at_new_block(join_label)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        head_label = self.builder.fresh_label("loop")
+        body_label = self.builder.fresh_label("body")
+        exit_label = self.builder.fresh_label("exit")
+        self.builder.goto(head_label, line=stmt.line)
+        self.builder.position_at_new_block(head_label)
+        cond = self.lower_expr(stmt.cond)
+        self.builder.branch(cond, body_label, exit_label, line=stmt.line)
+        self.builder.position_at_new_block(body_label)
+        self.lower_stmt(stmt.body)
+        self.builder.goto(head_label, line=stmt.line)
+        self.builder.position_at_new_block(exit_label)
+
+    def _lower_sync(self, stmt: ast.SyncStmt) -> None:
+        lock = self.lower_expr(stmt.lock)
+        if isinstance(lock, Const):
+            raise self._error("cannot synchronize on a literal", stmt.line)
+        assert isinstance(lock, Local)
+        self.builder.monitor_enter(lock, line=stmt.line)
+        self._sync_lock_stack.append(lock)
+        self.lower_block(stmt.body)
+        self._sync_lock_stack.pop()
+        self.builder.monitor_exit(lock, line=stmt.line)
+
+    # -- expressions ----------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr, want_value: bool = True) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.StrLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.NullLit):
+            return Const(None)
+        if isinstance(expr, ast.ThisExpr):
+            if self.method.is_static:
+                raise self._error("'this' in a static method", expr.line)
+            return Local("this")
+        if isinstance(expr, ast.Name):
+            return self._lower_name(expr)
+        if isinstance(expr, ast.FieldAccess):
+            return self._lower_field_access(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, want_value)
+        if isinstance(expr, ast.SuperCall):
+            return self._lower_super_call(expr, want_value)
+        if isinstance(expr, ast.NewExpr):
+            return self._lower_new(expr)
+        if isinstance(expr, ast.Unary):
+            operand = self.lower_expr(expr.operand)
+            return self.builder.unary(expr.op, operand, line=expr.line)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Assignment):
+            return self._lower_assignment(expr)
+        raise self._error(f"cannot lower expression {type(expr).__name__}", expr.line)
+
+    def _own_static_field(self, ident: str) -> Optional[FieldRef]:
+        """A static field named ``ident`` in the enclosing class hierarchy."""
+        for name in [self.method.class_name,
+                     *self.module.superclasses(self.method.class_name)]:
+            candidate = self.module.lookup_class(name)
+            if candidate and ident in candidate.fields \
+                    and candidate.fields[ident].is_static:
+                return FieldRef(name, ident)
+        return None
+
+    def _lower_name(self, expr: ast.Name) -> Operand:
+        local_type = self.scope.lookup(expr.ident)
+        if local_type is not None:
+            return Local(expr.ident)
+        # Captured enclosing local inside an anonymous class?
+        cap_ref = self._find_field(self.method.class_name, f"$cap_{expr.ident}")
+        if cap_ref is not None and not self.method.is_static:
+            result = self.builder.get_field(Local("this"), cap_ref, line=expr.line)
+            return self._record(result, self._field_type(cap_ref))
+        static_ref = self._own_static_field(expr.ident)
+        if static_ref is not None:
+            result = self.builder.get_static(static_ref, line=expr.line)
+            return self._record(result, self._field_type(static_ref))
+        chain = self._outer_chain_to_field(expr.ident, expr.line)
+        if chain is not None:
+            base, ref = chain
+            result = self.builder.get_field(base, ref, line=expr.line)
+            return self._record(result, self._field_type(ref))
+        raise self._error(f"unresolved identifier {expr.ident!r}", expr.line)
+
+    def _class_named(self, expr: ast.Expr) -> Optional[str]:
+        """If the expression is a bare Name that denotes a class, return it."""
+        if isinstance(expr, ast.Name) and self.scope.lookup(expr.ident) is None:
+            if self.module.lookup_class(expr.ident) is not None:
+                # A field of the same name (instance or outer) shadows the class.
+                if self._find_field(self.method.class_name, expr.ident) is None:
+                    return expr.ident
+        return None
+
+    def _lower_field_access(self, expr: ast.FieldAccess) -> Operand:
+        class_name = self._class_named(expr.target)
+        if class_name is not None:
+            cls = self.module.lookup_class(class_name)
+            assert cls is not None
+            for name in [class_name, *self.module.superclasses(class_name)]:
+                candidate = self.module.lookup_class(name)
+                if candidate and expr.name in candidate.fields:
+                    ref = FieldRef(name, expr.name)
+                    result = self.builder.get_static(ref, line=expr.line)
+                    return self._record(result, self._field_type(ref))
+            raise self._error(
+                f"class {class_name} has no static field {expr.name!r}", expr.line
+            )
+        base = self.lower_expr(expr.target)
+        if isinstance(base, Const):
+            raise self._error("field access on a literal", expr.line)
+        assert isinstance(base, Local)
+        base_type = self._type_of(base)
+        ref = self._find_field(base_type.name, expr.name)
+        if ref is None:
+            raise self._error(
+                f"type {base_type.name} has no field {expr.name!r}", expr.line
+            )
+        result = self.builder.get_field(base, ref, line=expr.line)
+        return self._record(result, self._field_type(ref))
+
+    def _lower_call(self, expr: ast.Call, want_value: bool) -> Operand:
+        args = [self.lower_expr(a) for a in expr.args]
+
+        if expr.target is None:
+            chain = self._outer_chain_to_method(expr.name, expr.line)
+            if chain is None:
+                raise self._error(f"unresolved method {expr.name!r}", expr.line)
+            base, class_name = chain
+            resolved = self.module.resolve_method(class_name, expr.name)
+            assert resolved is not None
+            if resolved.is_static:
+                return self._emit_invoke(
+                    "static", None, resolved, args, want_value, expr.line
+                )
+            return self._emit_invoke(
+                "virtual", base, resolved, args, want_value, expr.line,
+                declared_class=class_name,
+            )
+
+        class_name = self._class_named(expr.target)
+        if class_name is not None:
+            resolved = self.module.resolve_method(class_name, expr.name)
+            if resolved is None or not resolved.is_static:
+                raise self._error(
+                    f"class {class_name} has no static method {expr.name!r}",
+                    expr.line,
+                )
+            return self._emit_invoke(
+                "static", None, resolved, args, want_value, expr.line
+            )
+
+        base = self.lower_expr(expr.target)
+        if isinstance(base, Const):
+            raise self._error("method call on a literal", expr.line)
+        assert isinstance(base, Local)
+        base_type = self._type_of(base)
+        resolved = self.module.resolve_method(base_type.name, expr.name)
+        if resolved is None:
+            raise self._error(
+                f"type {base_type.name} has no method {expr.name!r}", expr.line
+            )
+        return self._emit_invoke(
+            "virtual", base, resolved, args, want_value, expr.line,
+            declared_class=base_type.name,
+        )
+
+    def _emit_invoke(
+        self,
+        kind: str,
+        base: Optional[Local],
+        resolved: Method,
+        args: List[Operand],
+        want_value: bool,
+        line: int,
+        declared_class: Optional[str] = None,
+    ) -> Operand:
+        if len(args) != resolved.arity:
+            raise self._error(
+                f"{resolved.qualified_name} expects {resolved.arity} argument(s),"
+                f" got {len(args)}",
+                line,
+            )
+        ref = MethodRef(declared_class or resolved.class_name, resolved.name,
+                        resolved.arity)
+        target = None
+        if want_value and resolved.return_type != VOID:
+            target = self.builder.fresh_temp("ret")
+        self.builder.invoke(kind, base, ref, args, target, line)
+        if target is not None:
+            return self._record(Local(target), resolved.return_type)
+        return Const(None)
+
+    def _lower_super_call(self, expr: ast.SuperCall, want_value: bool) -> Operand:
+        if self.method.is_static:
+            raise self._error("'super' in a static method", expr.line)
+        cls = self.module.lookup_class(self.method.class_name)
+        if cls is None or not cls.super_name:
+            raise self._error("'super' call without a superclass", expr.line)
+        args = [self.lower_expr(a) for a in expr.args]
+        resolved = self.module.resolve_method(cls.super_name, expr.name)
+        if resolved is None:
+            raise self._error(
+                f"superclass {cls.super_name} has no method {expr.name!r}",
+                expr.line,
+            )
+        ref = MethodRef(resolved.class_name, resolved.name, resolved.arity)
+        target = None
+        if want_value and resolved.return_type != VOID:
+            target = self.builder.fresh_temp("ret")
+        self.builder.invoke("special", Local("this"), ref, args, target, expr.line)
+        if target is not None:
+            return self._record(Local(target), resolved.return_type)
+        return Const(None)
+
+    def _lower_new(self, expr: ast.NewExpr) -> Operand:
+        if expr.body is not None:
+            return self._lower_anonymous(expr)
+        cls = self.module.lookup_class(expr.class_name)
+        if cls is None:
+            raise self._error(f"unknown class {expr.class_name!r}", expr.line)
+        if cls.is_interface:
+            raise self._error(
+                f"cannot instantiate interface {expr.class_name}", expr.line
+            )
+        obj = self.builder.new(expr.class_name, line=expr.line)
+        self._record(obj, ClassType(expr.class_name))
+        args = [self.lower_expr(a) for a in expr.args]
+        # Constructors are not inherited: look only at the exact class.
+        ctor = self.module.lookup_method(expr.class_name, "<init>")
+        if ctor is not None:
+            if len(args) != ctor.arity:
+                raise self._error(
+                    f"constructor {expr.class_name} expects {ctor.arity}"
+                    f" argument(s), got {len(args)}",
+                    expr.line,
+                )
+            ref = MethodRef(ctor.class_name, "<init>", ctor.arity)
+            self.builder.invoke("special", obj, ref, args, None, expr.line)
+        elif args:
+            raise self._error(
+                f"class {expr.class_name} has no constructor taking arguments",
+                expr.line,
+            )
+        return obj
+
+    def _lower_anonymous(self, expr: ast.NewExpr) -> Operand:
+        assert expr.body is not None
+        enclosing = self.method.class_name
+        anon_name = self.lowerer.fresh_anon_name(enclosing)
+
+        base_cls = self.module.lookup_class(expr.class_name)
+        if base_cls is None:
+            raise self._error(
+                f"unknown base type {expr.class_name!r} for anonymous class",
+                expr.line,
+            )
+        if expr.args:
+            raise self._error(
+                "anonymous classes take no constructor arguments", expr.line
+            )
+
+        if base_cls.is_interface:
+            anon = ClassDef(anon_name, interfaces=[expr.class_name], line=expr.line)
+        else:
+            anon = ClassDef(anon_name, super_name=expr.class_name, line=expr.line)
+
+        # Capture analysis: free identifiers that name enclosing locals.
+        visible = self.scope.all_names()
+        captures: List[Tuple[str, Type]] = []
+        for ident in sorted(_free_identifiers(expr.body)):
+            if ident in visible and ident != "this":
+                captures.append((ident, self.scope.lookup(ident) or STRING))
+
+        if not self.method.is_static:
+            anon.add_field(Field("$outer", ClassType(enclosing)))
+        for name, type_ in captures:
+            anon.add_field(Field(f"$cap_{name}", type_))
+        for fdecl in expr.body:
+            if isinstance(fdecl, ast.FieldDecl):
+                anon.add_field(
+                    Field(fdecl.name, parse_type(fdecl.type_name),
+                          is_static=fdecl.is_static, line=fdecl.line)
+                )
+        self.module.add_class(anon)
+        self.lowerer.anon_info[anon_name] = (enclosing, captures)
+
+        # Lower the anonymous class's methods (recursively).
+        field_inits = [
+            m for m in expr.body
+            if isinstance(m, ast.FieldDecl) and m.init is not None
+        ]
+        for member in expr.body:
+            if not isinstance(member, ast.MethodDecl):
+                continue
+            method = Method(
+                anon_name,
+                member.name,
+                params=[
+                    Parameter(p.name, parse_type(p.type_name))
+                    for p in member.params
+                ],
+                return_type=parse_type(member.return_type),
+                is_static=member.is_static,
+                is_synchronized=member.is_synchronized,
+                line=member.line,
+            )
+            anon.add_method(method)
+            inner = _MethodLowerer(self.lowerer, method)
+            inner.lower_body(member.body)
+        if field_inits:
+            init_method = Method(anon_name, "$fieldinit", line=expr.line)
+            anon.add_method(init_method)
+            inner = _MethodLowerer(self.lowerer, init_method)
+            for fdecl in field_inits:
+                inner.lower_field_init(fdecl)
+            inner.finish()
+
+        # Allocation site: wire $outer and captures, then run field inits.
+        obj = self.builder.new(anon_name, line=expr.line)
+        self._record(obj, ClassType(anon_name))
+        if not self.method.is_static:
+            self.builder.put_field(
+                obj, FieldRef(anon_name, "$outer"), Local("this"), line=expr.line
+            )
+        for name, _ in captures:
+            self.builder.put_field(
+                obj, FieldRef(anon_name, f"$cap_{name}"), Local(name), line=expr.line
+            )
+        if field_inits:
+            self.builder.invoke(
+                "special", obj, MethodRef(anon_name, "$fieldinit", 0), [], None,
+                expr.line,
+            )
+        return obj
+
+    def _lower_binary(self, expr: ast.Binary) -> Operand:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        return self.builder.binary(expr.op, lhs, rhs, line=expr.line)
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> Operand:
+        result = self.builder.fresh_temp("sc")
+        rhs_label = self.builder.fresh_label("sc_rhs")
+        short_label = self.builder.fresh_label("sc_short")
+        join_label = self.builder.fresh_label("sc_join")
+
+        lhs = self.lower_expr(expr.lhs)
+        if expr.op == "&&":
+            self.builder.branch(lhs, rhs_label, short_label, line=expr.line)
+            short_value: Operand = Const(False)
+        else:
+            self.builder.branch(lhs, short_label, rhs_label, line=expr.line)
+            short_value = Const(True)
+
+        self.builder.position_at_new_block(rhs_label)
+        rhs = self.lower_expr(expr.rhs)
+        self.builder.assign(result, rhs, line=expr.line)
+        self.builder.goto(join_label)
+
+        self.builder.position_at_new_block(short_label)
+        self.builder.assign(result, short_value, line=expr.line)
+        self.builder.goto(join_label)
+
+        self.builder.position_at_new_block(join_label)
+        self.types[result] = BOOLEAN
+        return Local(result)
+
+    def _lower_assignment(self, expr: ast.Assignment) -> Operand:
+        value = self.lower_expr(expr.value)
+        target = expr.target
+
+        if isinstance(target, ast.Name):
+            if self.scope.lookup(target.ident) is not None:
+                self.builder.assign(target.ident, value, line=expr.line)
+                if isinstance(value, Local):
+                    declared = self.scope.lookup(target.ident)
+                    if declared is not None and declared.name == "Object":
+                        self.types[target.ident] = self._type_of(value)
+                return value
+            static_ref = self._own_static_field(target.ident)
+            if static_ref is not None:
+                self.builder.put_static(static_ref, value, line=expr.line)
+                return value
+            chain = self._outer_chain_to_field(target.ident, expr.line)
+            if chain is not None:
+                base, ref = chain
+                self.builder.put_field(base, ref, value, line=expr.line)
+                return value
+            raise self._error(
+                f"unresolved assignment target {target.ident!r}", expr.line
+            )
+
+        assert isinstance(target, ast.FieldAccess)
+        class_name = self._class_named(target.target)
+        if class_name is not None:
+            for name in [class_name, *self.module.superclasses(class_name)]:
+                candidate = self.module.lookup_class(name)
+                if candidate and target.name in candidate.fields:
+                    self.builder.put_static(
+                        FieldRef(name, target.name), value, line=expr.line
+                    )
+                    return value
+            raise self._error(
+                f"class {class_name} has no static field {target.name!r}",
+                expr.line,
+            )
+        base = self.lower_expr(target.target)
+        if isinstance(base, Const):
+            raise self._error("field assignment on a literal", expr.line)
+        assert isinstance(base, Local)
+        base_type = self._type_of(base)
+        ref = self._find_field(base_type.name, target.name)
+        if ref is None:
+            raise self._error(
+                f"type {base_type.name} has no field {target.name!r}", expr.line
+            )
+        self.builder.put_field(base, ref, value, line=expr.line)
+        return value

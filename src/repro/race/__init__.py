@@ -1,0 +1,23 @@
+"""Use-after-free ordering-violation detection (paper section 5)."""
+
+from .detector import detect_uaf_warnings, DetectorOptions, UafDetector
+from .events import AccessEvent, collect_access_events, FREE, USE
+from .warnings import (
+    classify_pair,
+    Occurrence,
+    PAIR_C_NT,
+    PAIR_C_RT,
+    PAIR_EC_EC,
+    PAIR_EC_PC,
+    PAIR_PC_PC,
+    PAIR_T_T,
+    PAIR_TYPES,
+    UafWarning,
+)
+
+__all__ = [
+    "AccessEvent", "classify_pair", "collect_access_events",
+    "detect_uaf_warnings", "DetectorOptions", "FREE", "Occurrence",
+    "PAIR_C_NT", "PAIR_C_RT", "PAIR_EC_EC", "PAIR_EC_PC", "PAIR_PC_PC",
+    "PAIR_T_T", "PAIR_TYPES", "UafDetector", "UafWarning", "USE",
+]

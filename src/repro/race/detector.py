@@ -1,0 +1,206 @@
+"""Potential UAF detection (paper section 5).
+
+After threadification, nAdroid runs a modified Chord:
+
+* only use/free pairs on the same field are considered (not general races),
+* lockset analysis is ignored at detection time (locks cannot prevent
+  ordering violations) -- it is applied selectively by the IG/IA filters,
+* MHP analysis is disabled (replaced by the HB filters of section 6).
+
+Two accesses race when they belong to different modeled threads and their
+receiver objects may alias under the k-object-sensitive points-to
+analysis; static fields alias by name.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.escape import compute_escaping
+from ..analysis.mhp import may_happen_in_parallel
+from ..analysis.pointsto import HeapObject, PointsToResult
+from ..threadify.transform import ThreadifiedProgram
+from .events import AccessEvent, collect_access_events, FREE, USE
+from .warnings import classify_pair, Occurrence, UafWarning
+
+
+@dataclass
+class DetectorOptions:
+    """Knobs for the ablation study; defaults follow the paper."""
+
+    #: restrict candidates to escaping objects (Chord's thread-escape)
+    use_escape_analysis: bool = True
+    #: apply forest-structural MHP at detection time (paper: off)
+    use_mhp: bool = False
+    #: require a common lock to *suppress* warnings at detection time
+    #: (paper: off -- locks do not prevent ordering violations)
+    respect_locks: bool = False
+    #: solve the racy-pair relation declaratively, like Chord's
+    #: Datalog/bddbddb backend ("datalog"), or with the equivalent direct
+    #: joins ("imperative").  Non-default MHP/lock options force the
+    #: imperative engine.
+    engine: str = "datalog"
+
+
+class UafDetector:
+    """Detect potential UAF warnings over a threadified program."""
+
+    def __init__(
+        self,
+        program: ThreadifiedProgram,
+        pointsto: PointsToResult,
+        options: Optional[DetectorOptions] = None,
+        lockset=None,
+    ) -> None:
+        self.program = program
+        self.pointsto = pointsto
+        self.options = options or DetectorOptions()
+        self.lockset = lockset
+        self._escaping: Optional[Set[HeapObject]] = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _base_objects(self, event: AccessEvent) -> Set[HeapObject]:
+        if event.is_static:
+            return set()
+        assert event.base_local is not None
+        return self.pointsto.pts(event.method_qname, event.base_local)
+
+    def _escaping_objects(self) -> Set[HeapObject]:
+        if self._escaping is None:
+            self._escaping = compute_escaping(self.pointsto, self.program)
+        return self._escaping
+
+    def _may_alias(self, use: AccessEvent, free: AccessEvent) -> bool:
+        if use.is_static and free.is_static:
+            return True  # same resolved static field
+        if use.is_static != free.is_static:
+            return False
+        overlap = self._base_objects(use) & self._base_objects(free)
+        if not overlap:
+            return False
+        if self.options.use_escape_analysis:
+            return bool(overlap & self._escaping_objects())
+        return True
+
+    def _nodes_concurrent(self, use: AccessEvent, free: AccessEvent) -> bool:
+        if use.node_id == free.node_id:
+            # Callbacks on one looper are atomic; an access pair inside one
+            # modeled thread is ordered by program order, not a race.
+            return False
+        forest = self.program.forest
+        node_use = forest.node(use.node_id)
+        node_free = forest.node(free.node_id)
+        if self.options.use_mhp and not may_happen_in_parallel(
+            forest, node_use, node_free
+        ):
+            return False
+        if self.options.respect_locks and self.lockset is not None:
+            if self.lockset.common_lock(use.uid, free.uid):
+                return False
+        return True
+
+    # -- detection --------------------------------------------------------------------
+
+    def detect(self) -> List[UafWarning]:
+        if (
+            self.options.engine == "datalog"
+            and not self.options.use_mhp
+            and not self.options.respect_locks
+        ):
+            return self._detect_datalog()
+        return self._detect_imperative()
+
+    def _detect_datalog(self) -> List[UafWarning]:
+        """Chord-style: solve the racy-pair relation with the Datalog
+        engine (the default, mirroring the paper's bddbddb backend)."""
+        from ..datalog.chord import build_race_program
+        from ..datalog.engine import evaluate
+
+        events = collect_access_events(self.program)
+        dl = build_race_program(
+            self.program, self.pointsto,
+            use_escape=self.options.use_escape_analysis,
+            events=events,
+        )
+        relations = evaluate(dl)
+        warnings: Dict[Tuple[int, int], UafWarning] = {}
+        forest = self.program.forest
+        for use_index, free_index in sorted(relations.get("racyPair", ())):
+            use = events[use_index]
+            free = events[free_index]
+            key = (use.uid, free.uid)
+            warning = warnings.get(key)
+            if warning is None:
+                warning = UafWarning(
+                    fieldref=use.fieldref,
+                    use_uid=use.uid,
+                    free_uid=free.uid,
+                    use_method=use.method_qname,
+                    free_method=free.method_qname,
+                )
+                warnings[key] = warning
+            pair_type = classify_pair(
+                forest, forest.node(use.node_id), forest.node(free.node_id)
+            )
+            warning.occurrences.append(
+                Occurrence(use=use, free=free, pair_type=pair_type)
+            )
+        return sorted(
+            warnings.values(), key=lambda w: (w.fieldref.class_name,
+                                              w.fieldref.field_name,
+                                              w.use_uid, w.free_uid)
+        )
+
+    def _detect_imperative(self) -> List[UafWarning]:
+        events = collect_access_events(self.program)
+        by_field: Dict[Tuple[str, str], Dict[str, List[AccessEvent]]] = defaultdict(
+            lambda: {USE: [], FREE: []}
+        )
+        for event in events:
+            key = (event.fieldref.class_name, event.fieldref.field_name)
+            by_field[key][event.kind].append(event)
+
+        warnings: Dict[Tuple[int, int], UafWarning] = {}
+        forest = self.program.forest
+        for accesses in by_field.values():
+            for use in accesses[USE]:
+                for free in accesses[FREE]:
+                    if not self._nodes_concurrent(use, free):
+                        continue
+                    if not self._may_alias(use, free):
+                        continue
+                    key = (use.uid, free.uid)
+                    warning = warnings.get(key)
+                    if warning is None:
+                        warning = UafWarning(
+                            fieldref=use.fieldref,
+                            use_uid=use.uid,
+                            free_uid=free.uid,
+                            use_method=use.method_qname,
+                            free_method=free.method_qname,
+                        )
+                        warnings[key] = warning
+                    pair_type = classify_pair(
+                        forest, forest.node(use.node_id), forest.node(free.node_id)
+                    )
+                    warning.occurrences.append(
+                        Occurrence(use=use, free=free, pair_type=pair_type)
+                    )
+        return sorted(
+            warnings.values(), key=lambda w: (w.fieldref.class_name,
+                                              w.fieldref.field_name,
+                                              w.use_uid, w.free_uid)
+        )
+
+
+def detect_uaf_warnings(
+    program: ThreadifiedProgram,
+    pointsto: PointsToResult,
+    options: Optional[DetectorOptions] = None,
+    lockset=None,
+) -> List[UafWarning]:
+    """One-call wrapper around :class:`UafDetector`."""
+    return UafDetector(program, pointsto, options, lockset).detect()

@@ -1,0 +1,91 @@
+"""Access-event extraction: the use/free vocabulary of section 5.
+
+nAdroid defines a *use* as a ``getfield`` and a *free* as a ``putfield``
+storing null, and only pairs a use with a free on the same field.  This
+module walks application code, extracts those accesses and attributes each
+to every thread-forest node whose region executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import FieldRef, GetField, GetStatic, PutField, PutStatic
+from ..threadify.transform import ThreadifiedProgram
+
+USE = "use"
+FREE = "free"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One field access attributed to one modeled thread."""
+
+    node_id: int
+    method_qname: str
+    uid: int
+    fieldref: FieldRef   #: resolved to the declaring class
+    kind: str            #: USE or FREE
+    is_static: bool
+    base_local: Optional[str]
+    line: int
+
+    def key(self) -> Tuple[int, int]:
+        return (self.node_id, self.uid)
+
+
+def _is_analysis_field(fieldref: FieldRef) -> bool:
+    """Synthetic plumbing fields ($outer, $cap_*, $task, registry slots)
+    are not part of the application's UAF vocabulary."""
+    return not fieldref.field_name.startswith("$")
+
+
+def collect_access_events(program: ThreadifiedProgram) -> List[AccessEvent]:
+    """All use/free events of the application, per owning thread node."""
+    module = program.module
+    method_nodes: Dict[str, List[int]] = {}
+    for node_id, region in program.regions.items():
+        for qname in region:
+            method_nodes.setdefault(qname, []).append(node_id)
+
+    events: List[AccessEvent] = []
+    for method in module.methods():
+        if not program.is_app_class(method.class_name):
+            continue
+        qname = method.qualified_name
+        nodes = method_nodes.get(qname)
+        if not nodes:
+            continue  # code not reachable from any modeled thread
+        for instr in method.instructions():
+            record: Optional[Tuple[FieldRef, str, bool, Optional[str]]] = None
+            if isinstance(instr, GetField):
+                record = (instr.fieldref, USE, False, instr.base.name)
+            elif isinstance(instr, PutField) and instr.is_free():
+                record = (instr.fieldref, FREE, False, instr.base.name)
+            elif isinstance(instr, GetStatic):
+                record = (instr.fieldref, USE, True, None)
+            elif isinstance(instr, PutStatic) and instr.is_free():
+                record = (instr.fieldref, FREE, True, None)
+            if record is None:
+                continue
+            fieldref, kind, is_static, base = record
+            resolved = module.resolve_field(
+                fieldref.class_name, fieldref.field_name
+            ) or fieldref
+            if not _is_analysis_field(resolved):
+                continue
+            for node_id in nodes:
+                events.append(
+                    AccessEvent(
+                        node_id=node_id,
+                        method_qname=qname,
+                        uid=instr.uid,
+                        fieldref=resolved,
+                        kind=kind,
+                        is_static=is_static,
+                        base_local=base,
+                        line=instr.line,
+                    )
+                )
+    return events

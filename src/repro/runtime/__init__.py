@@ -1,0 +1,25 @@
+"""Dynamic substrate: MiniDroid interpreter, Android event-loop simulator
+and the schedule-search validator (paper section 7)."""
+
+from .errors import SimulationError, ThrownException
+from .interpreter import Frame, Interpreter, ThreadState
+from .intrinsics import IntrinsicTable
+from .simulator import (
+    AndroidWorld,
+    FifoScheduler,
+    MAIN_THREAD,
+    PostedTask,
+    RandomScheduler,
+    ScriptedScheduler,
+    Simulator,
+)
+from .validator import validate_warning, ValidationResult
+from .values import default_value, Heap, ObjRef, Value
+
+__all__ = [
+    "AndroidWorld", "default_value", "FifoScheduler", "Frame", "Heap",
+    "Interpreter", "IntrinsicTable", "MAIN_THREAD", "ObjRef", "PostedTask",
+    "RandomScheduler", "ScriptedScheduler", "SimulationError", "Simulator",
+    "ThreadState", "ThrownException", "validate_warning", "ValidationResult",
+    "Value",
+]

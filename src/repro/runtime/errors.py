@@ -1,0 +1,29 @@
+"""Runtime exception model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+class SimulationError(Exception):
+    """Internal simulator failure (bad IR, missing intrinsic, ...)."""
+
+
+@dataclass
+class ThrownException:
+    """An exception raised by the simulated application."""
+
+    name: str            #: e.g. "NullPointerException"
+    uid: int             #: instruction uid where it was raised
+    method_qname: str
+    thread_id: int
+    detail: str = ""
+
+    @property
+    def is_npe(self) -> bool:
+        return self.name == "NullPointerException"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} at {self.method_qname} (uid {self.uid}, "
+            f"thread {self.thread_id}) {self.detail}"
+        )

@@ -1,0 +1,65 @@
+"""Runtime values and the heap for the MiniDroid interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from ..ir import FieldRef, Type
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A reference to a heap object."""
+
+    oid: int
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}@{self.oid}"
+
+
+#: A runtime value: null is Python None; primitives map to int/bool/str.
+Value = Union[None, int, bool, str, ObjRef]
+
+
+def default_value(type_: Type) -> Value:
+    """The Java default for an uninitialized slot of a given type."""
+    if type_.name == "boolean":
+        return False
+    if type_.name in ("int", "long"):
+        return 0
+    return None
+
+
+class Heap:
+    """Object store: fields, statics, and per-object monitor state."""
+
+    def __init__(self) -> None:
+        self._next_oid = 1
+        self._fields: Dict[int, Dict[str, Value]] = {}
+        self._statics: Dict[str, Value] = {}
+        #: oid -> (owner thread id, recursion count)
+        self.monitors: Dict[int, tuple] = {}
+
+    def alloc(self, class_name: str) -> ObjRef:
+        ref = ObjRef(self._next_oid, class_name)
+        self._next_oid += 1
+        self._fields[ref.oid] = {}
+        return ref
+
+    @staticmethod
+    def _key(ref: FieldRef) -> str:
+        return f"{ref.class_name}.{ref.field_name}"
+
+    def get_field(self, obj: ObjRef, ref: FieldRef) -> Value:
+        return self._fields[obj.oid].get(self._key(ref))
+
+    def put_field(self, obj: ObjRef, ref: FieldRef, value: Value) -> None:
+        self._fields[obj.oid][self._key(ref)] = value
+
+    def get_static(self, ref: FieldRef) -> Value:
+        return self._statics.get(self._key(ref))
+
+    def put_static(self, ref: FieldRef, value: Value) -> None:
+        self._statics[self._key(ref)] = value

@@ -1,0 +1,91 @@
+"""Entry-callback discovery (paper section 4.1).
+
+Entry callbacks (ECs) are externally invoked by the Android runtime:
+component lifecycle callbacks, Activity-level UI/system callbacks, and
+statically-registered receiver callbacks.  Imperatively registered
+listener callbacks (``setOnClickListener`` et al.) are also ECs -- the
+paper models them as children of the dummy main -- but they are discovered
+from registration sites by the threadifier, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..android.callbacks import (
+    ACTIVITY_ENTRY_CALLBACKS,
+    APPLICATION_LIFECYCLE,
+    CallbackCategory,
+    categorize_entry_callback,
+    SERVICE_LIFECYCLE,
+)
+from ..android.framework import is_framework_class
+from ..android.manifest import Manifest
+from ..ir import Module
+
+
+@dataclass(frozen=True)
+class EntryCallback:
+    """One discovered entry callback."""
+
+    receiver_class: str
+    method_name: str
+    category: CallbackCategory
+    component: str
+
+
+_KIND_CALLBACKS = {
+    "activity": ACTIVITY_ENTRY_CALLBACKS,
+    "service": SERVICE_LIFECYCLE,
+    "receiver": frozenset({"onReceive"}),
+    "application": APPLICATION_LIFECYCLE,
+}
+
+_KIND_FRAMEWORK_CLASS = {
+    "activity": "Activity",
+    "service": "Service",
+    "receiver": "BroadcastReceiver",
+    "application": "Application",
+}
+
+
+def discover_entry_callbacks(
+    module: Module, manifest: Manifest
+) -> List[EntryCallback]:
+    """Find every component entry callback declared by the application.
+
+    A method qualifies when its name is in the curated callback set for
+    the component kind.  The sets are curated (FlowDroid-style), so a
+    UI/system callback implemented on a component counts even without an
+    imperative registration site -- mirroring declarative registration in
+    layout XML (paper section 4.1).
+    """
+    result: List[EntryCallback] = []
+    for decl in manifest.components.values():
+        cls = module.lookup_class(decl.name)
+        if cls is None:
+            continue
+        names = _KIND_CALLBACKS[decl.kind]
+        seen = set()
+        # Walk the app-level hierarchy: C and its app superclasses all
+        # contribute callbacks that run when C's component is active.
+        for owner in [decl.name, *module.superclasses(decl.name)]:
+            if is_framework_class(owner):
+                break
+            owner_cls = module.lookup_class(owner)
+            if owner_cls is None:
+                continue
+            for method_name in owner_cls.methods:
+                if method_name in seen or method_name not in names:
+                    continue
+                seen.add(method_name)
+                result.append(
+                    EntryCallback(
+                        receiver_class=decl.name,
+                        method_name=method_name,
+                        category=categorize_entry_callback(method_name, decl.kind),
+                        component=decl.name,
+                    )
+                )
+    return result

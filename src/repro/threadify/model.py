@@ -1,0 +1,239 @@
+"""Thread-forest model produced by threadification (paper section 4).
+
+Threadification models every event callback as a thread.  The result is a
+forest: the dummy main thread is the root; *entry callbacks* (lifecycle,
+UI, system -- invoked by the Android runtime) are its children; *posted
+callbacks* (Handler messages, posted Runnables, service connections,
+receivers, AsyncTask callbacks) are children of the callback or thread
+that posted/registered them; native threads are children of their
+spawners.
+
+The forest preserves the poster->postee lineage the paper uses both to
+reduce false positives (PHB filter) and to explain warnings to programmers
+(section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..android.callbacks import CallbackCategory
+
+
+class ThreadKind(Enum):
+    """What kind of modeled thread a forest node is."""
+
+    DUMMY_MAIN = auto()      #: the initial looper thread
+    ENTRY_CALLBACK = auto()  #: EC -- externally invoked by the runtime
+    POSTED_CALLBACK = auto() #: PC -- posted by another callback/thread
+    NATIVE_THREAD = auto()   #: java.lang.Thread / executor task
+    ASYNC_BACKGROUND = auto()#: AsyncTask.doInBackground
+
+
+@dataclass
+class ThreadNode:
+    """One modeled thread: a callback or native thread entry point.
+
+    ``receiver_class`` is the class whose ``method_name`` body runs;
+    ``component`` is the owning Android component (for MHB filters);
+    ``looper`` is the looper this callback executes on (``None`` for
+    native/background threads, which do not run on a looper).
+    """
+
+    node_id: int
+    kind: ThreadKind
+    receiver_class: str
+    method_name: str
+    category: Optional[CallbackCategory] = None
+    component: Optional[str] = None
+    parent: Optional["ThreadNode"] = None
+    post_site: Optional[int] = None  #: uid of the posting/registration call
+    looper: Optional[str] = "main"
+    #: AsyncTask class for MHB-AsyncTask grouping; ServiceConnection class
+    #: for MHB-Service grouping.
+    group_key: Optional[str] = None
+
+    @property
+    def is_callback(self) -> bool:
+        return self.kind in (ThreadKind.ENTRY_CALLBACK, ThreadKind.POSTED_CALLBACK)
+
+    @property
+    def is_native(self) -> bool:
+        return self.kind in (ThreadKind.NATIVE_THREAD, ThreadKind.ASYNC_BACKGROUND)
+
+    @property
+    def entry(self) -> Tuple[str, str]:
+        return (self.receiver_class, self.method_name)
+
+    def ancestors(self) -> Iterator["ThreadNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def lineage(self) -> List["ThreadNode"]:
+        """Root-first path from the dummy main to this node (inclusive)."""
+        path = [self, *self.ancestors()]
+        path.reverse()
+        return path
+
+    def describe(self) -> str:
+        """Human-readable lineage, e.g. for the section-7 programmer aids."""
+        parts = []
+        for node in self.lineage():
+            if node.kind is ThreadKind.DUMMY_MAIN:
+                parts.append("main")
+            else:
+                parts.append(f"{node.receiver_class}.{node.method_name}")
+        return " -> ".join(parts)
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ThreadNode) and other.node_id == self.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ThreadNode #{self.node_id} {self.kind.name} "
+            f"{self.receiver_class}.{self.method_name}>"
+        )
+
+
+class ThreadForest:
+    """The set of modeled threads of one threadified application."""
+
+    def __init__(self) -> None:
+        self._nodes: List[ThreadNode] = []
+        self.dummy_main = self._new_node(
+            ThreadKind.DUMMY_MAIN, "DummyMain", "main", looper="main"
+        )
+
+    def _new_node(self, kind: ThreadKind, receiver_class: str, method_name: str,
+                  **kwargs) -> ThreadNode:
+        node = ThreadNode(
+            node_id=len(self._nodes),
+            kind=kind,
+            receiver_class=receiver_class,
+            method_name=method_name,
+            **kwargs,
+        )
+        self._nodes.append(node)
+        return node
+
+    def add_entry_callback(
+        self,
+        receiver_class: str,
+        method_name: str,
+        category: CallbackCategory,
+        component: Optional[str] = None,
+    ) -> ThreadNode:
+        return self._new_node(
+            ThreadKind.ENTRY_CALLBACK,
+            receiver_class,
+            method_name,
+            category=category,
+            component=component,
+            parent=self.dummy_main,
+            looper="main",
+        )
+
+    def add_posted_callback(
+        self,
+        parent: ThreadNode,
+        receiver_class: str,
+        method_name: str,
+        category: CallbackCategory,
+        post_site: Optional[int] = None,
+        component: Optional[str] = None,
+        group_key: Optional[str] = None,
+    ) -> ThreadNode:
+        return self._new_node(
+            ThreadKind.POSTED_CALLBACK,
+            receiver_class,
+            method_name,
+            category=category,
+            component=component,
+            parent=parent,
+            post_site=post_site,
+            looper="main",
+            group_key=group_key,
+        )
+
+    def add_native_thread(
+        self,
+        parent: ThreadNode,
+        receiver_class: str,
+        method_name: str = "run",
+        post_site: Optional[int] = None,
+        kind: ThreadKind = ThreadKind.NATIVE_THREAD,
+        group_key: Optional[str] = None,
+    ) -> ThreadNode:
+        return self._new_node(
+            kind,
+            receiver_class,
+            method_name,
+            parent=parent,
+            post_site=post_site,
+            looper=None,
+            group_key=group_key,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[ThreadNode]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> ThreadNode:
+        return self._nodes[node_id]
+
+    def callbacks(self) -> List[ThreadNode]:
+        return [n for n in self._nodes if n.is_callback]
+
+    def entry_callbacks(self) -> List[ThreadNode]:
+        return [n for n in self._nodes if n.kind is ThreadKind.ENTRY_CALLBACK]
+
+    def posted_callbacks(self) -> List[ThreadNode]:
+        return [n for n in self._nodes if n.kind is ThreadKind.POSTED_CALLBACK]
+
+    def native_threads(self) -> List[ThreadNode]:
+        return [n for n in self._nodes if n.is_native]
+
+    def children(self, node: ThreadNode) -> List[ThreadNode]:
+        return [n for n in self._nodes if n.parent is node]
+
+    def descendants(self, node: ThreadNode) -> Set[ThreadNode]:
+        result: Set[ThreadNode] = set()
+        work = [node]
+        while work:
+            current = work.pop()
+            for child in self.children(current):
+                if child not in result:
+                    result.add(child)
+                    work.append(child)
+        return result
+
+    def is_reachable_thread(self, callback: ThreadNode, thread: ThreadNode) -> bool:
+        """Is ``thread`` a Reachable Thread (RT) relative to ``callback``?
+
+        Paper section 7: reachability is transitive across thread creation
+        and event posting -- i.e. the thread is a forest descendant of the
+        callback (or the callback itself spawned it).
+        """
+        return thread in self.descendants(callback)
+
+    def same_looper(self, a: ThreadNode, b: ThreadNode) -> bool:
+        return a.looper is not None and a.looper == b.looper
+
+    def counts(self) -> Dict[str, int]:
+        """EC / PC / T counts as reported in Table 1."""
+        ec = len(self.entry_callbacks())
+        pc = len(self.posted_callbacks())
+        # Threads include the dummy UI main thread plus native/background.
+        threads = 1 + len(self.native_threads())
+        return {"EC": ec, "PC": pc, "T": threads}

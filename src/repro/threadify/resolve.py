@@ -1,0 +1,170 @@
+"""Lightweight receiver-class resolution for registration/post call sites.
+
+The threadifier needs to know *which classes'* callbacks a registration
+call registers (e.g. which ``Runnable`` a ``Handler.post`` posts) before
+the heavyweight points-to analysis runs.  This resolver combines an
+intra-procedural def scan with RTA-filtered class-hierarchy information,
+which is exactly enough for the idioms Android code (and our corpus) uses:
+``new``-at-the-call-site, fields holding concrete subclasses, ``this``,
+and locals copied between one another.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..android.framework import is_framework_class
+from ..ir import (
+    Assign,
+    GetField,
+    GetStatic,
+    Invoke,
+    Local,
+    Method,
+    Module,
+    New,
+    Type,
+)
+
+
+def concrete_implementers(
+    module: Module,
+    type_name: str,
+    rta: Set[str],
+    include_framework: bool = False,
+) -> Set[str]:
+    """Instantiated, non-interface subtypes of a declared type."""
+    candidates = set(module.subclasses(type_name)) | {type_name}
+    result: Set[str] = set()
+    for name in candidates:
+        cls = module.lookup_class(name)
+        if cls is None or cls.is_interface:
+            continue
+        if not include_framework and is_framework_class(name):
+            continue
+        if name in rta:
+            result.add(name)
+    return result
+
+
+def resolve_local_classes(
+    module: Module,
+    method: Method,
+    local: Local,
+    rta: Set[str],
+    _depth: int = 0,
+    _seen: Optional[Set[str]] = None,
+) -> Set[str]:
+    """Possible dynamic classes of a local within one method.
+
+    Prefers intra-procedural allocation evidence (``new`` reaching the
+    local); falls back to the declared type of the defining field, call or
+    parameter, widened to its instantiated subtypes.
+    """
+    if _depth > 8:
+        return set()
+    if _seen is None:
+        _seen = set()
+    if local.name in _seen:
+        return set()
+    _seen.add(local.name)
+
+    if local.name == "this":
+        return concrete_implementers(module, method.class_name, rta) or {
+            method.class_name
+        }
+
+    allocated: Set[str] = set()
+    declared: Set[str] = set()
+    for instr in method.instructions():
+        if instr.target_local() != local.name:
+            continue
+        if isinstance(instr, New):
+            allocated.add(instr.class_name)
+        elif isinstance(instr, Assign) and isinstance(instr.source, Local):
+            allocated |= resolve_local_classes(
+                module, method, instr.source, rta, _depth + 1, _seen
+            )
+        elif isinstance(instr, (GetField, GetStatic)):
+            declared |= _classes_of_type(
+                module, _field_type(module, instr), rta
+            )
+        elif isinstance(instr, Invoke):
+            target = module.resolve_method(
+                instr.methodref.class_name, instr.methodref.method_name
+            )
+            if target is not None:
+                declared |= _classes_of_type(module, target.return_type, rta)
+
+    if allocated:
+        return allocated
+    if declared:
+        return declared
+
+    # Fall back to the declared parameter type.
+    for param in method.params:
+        if param.name == local.name:
+            return _classes_of_type(module, param.type, rta)
+    return set()
+
+
+def _field_type(module: Module, instr) -> Optional[Type]:
+    cls = module.lookup_class(instr.fieldref.class_name)
+    if cls is not None and instr.fieldref.field_name in cls.fields:
+        return cls.fields[instr.fieldref.field_name].type
+    return None
+
+
+def _classes_of_type(
+    module: Module, type_: Optional[Type], rta: Set[str]
+) -> Set[str]:
+    if type_ is None or not type_.is_reference():
+        return set()
+    cls = module.lookup_class(type_.name)
+    if cls is None:
+        return set()
+    if not cls.is_interface and not is_framework_class(type_.name):
+        # A concrete app class declared as its own type: trust it even if
+        # the RTA scan missed the allocation (e.g. allocated reflectively).
+        return concrete_implementers(module, type_.name, rta) | {type_.name}
+    return concrete_implementers(module, type_.name, rta)
+
+
+def resolve_thread_tasks(
+    module: Module, method: Method, thread_local: Local, rta: Set[str]
+) -> Set[str]:
+    """Classes of Runnables passed to ``new Thread(r)`` for a given local.
+
+    Handles the ubiquitous ``new Thread(new Worker()).start()`` idiom by
+    locating the constructor invocation on the same local and resolving its
+    first argument.
+    """
+    # Collect the intra-method copy-aliases of the thread local: the
+    # constructor call sits on the allocation temporary, the ``start`` on
+    # the user variable.
+    aliases: Set[str] = {thread_local.name}
+    changed = True
+    while changed:
+        changed = False
+        for instr in method.instructions():
+            if isinstance(instr, Assign) and isinstance(instr.source, Local):
+                if instr.source.name in aliases and instr.target not in aliases:
+                    aliases.add(instr.target)
+                    changed = True
+                if instr.target in aliases and instr.source.name not in aliases:
+                    aliases.add(instr.source.name)
+                    changed = True
+
+    tasks: Set[str] = set()
+    for instr in method.instructions():
+        if (
+            isinstance(instr, Invoke)
+            and instr.kind == "special"
+            and instr.methodref.method_name == "<init>"
+            and instr.base is not None
+            and instr.base.name in aliases
+            and len(instr.args) == 1
+            and isinstance(instr.args[0], Local)
+        ):
+            tasks |= resolve_local_classes(module, method, instr.args[0], rta)
+    return tasks

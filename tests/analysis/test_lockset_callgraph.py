@@ -1,0 +1,220 @@
+"""Lockset, call-graph and escape/MHP/dataflow unit tests."""
+
+import pytest
+
+from repro.analysis import (
+    build_cha_callgraph,
+    compute_escaping,
+    dispatch_targets,
+    instantiated_classes,
+    LocksetAnalysis,
+    may_happen_in_parallel,
+    run_forward,
+    run_pointsto,
+)
+from repro.ir import Instruction, Invoke, MonitorEnter
+from repro.lowering import compile_app
+from repro.threadify import threadify
+
+
+def build(source):
+    program = threadify(compile_app(source, seal=False))
+    pointsto = run_pointsto(program.module)
+    return program, pointsto
+
+
+# -- lockset ---------------------------------------------------------------
+
+LOCK_APP = """
+class Shared { static Object lock = new Object(); }
+class A extends Activity {
+  int counter;
+  void onCreate(Bundle b) {
+    Object l = Shared.lock;
+    synchronized (l) {
+      counter = 1;
+    }
+    counter = 2;
+  }
+  void onResume() {
+    bump();
+  }
+  synchronized void bump() {
+    counter = counter + 1;
+  }
+}
+"""
+
+
+def put_uids(program, method_qname, value):
+    from repro.ir import Const, PutField
+
+    method_cls, name = method_qname.rsplit(".", 1)
+    method = program.module.lookup_method(method_cls, name)
+    return [
+        i.uid for i in method.instructions()
+        if isinstance(i, PutField) and isinstance(i.value, Const)
+        and i.value.value == value
+    ]
+
+
+def test_lock_held_inside_region_only():
+    program, pointsto = build(LOCK_APP)
+    lockset = LocksetAnalysis(program.module, pointsto)
+    inside = put_uids(program, "A.onCreate", 1)[0]
+    outside = put_uids(program, "A.onCreate", 2)[0]
+    assert lockset.locks_at(inside)
+    assert not lockset.locks_at(outside)
+
+
+def test_synchronized_method_holds_this():
+    program, pointsto = build(LOCK_APP)
+    lockset = LocksetAnalysis(program.module, pointsto)
+    method = program.module.lookup_method("A", "bump")
+    body_uids = [
+        i.uid for i in method.instructions()
+        if not isinstance(i, MonitorEnter) and i.target_local()
+    ]
+    assert any(lockset.locks_at(uid) for uid in body_uids)
+
+
+def test_common_lock_requires_singleton_same_object():
+    source = """
+    class Shared { static Object lock = new Object(); }
+    class A extends Activity {
+      int x;
+      void onResume() {
+        Object l = Shared.lock;
+        synchronized (l) { x = 1; }
+      }
+      void onPause() {
+        Object l = Shared.lock;
+        synchronized (l) { x = 2; }
+      }
+      void onStop() {
+        Object mine = new Object();
+        synchronized (mine) { x = 3; }
+      }
+    }
+    """
+    program, pointsto = build(source)
+    lockset = LocksetAnalysis(program.module, pointsto)
+    a = put_uids(program, "A.onResume", 1)[0]
+    b = put_uids(program, "A.onPause", 2)[0]
+    c = put_uids(program, "A.onStop", 3)[0]
+    assert lockset.common_lock(a, b)
+    assert not lockset.common_lock(a, c)
+
+
+# -- call graph ----------------------------------------------------------------
+
+CHA_APP = """
+class Base2 { void work() { } }
+class Left extends Base2 { void work() { } }
+class Right extends Base2 { void work() { } }
+class A extends Activity {
+  Base2 chosen;
+  void onCreate(Bundle b) {
+    chosen = new Left();
+    chosen.work();
+  }
+}
+"""
+
+
+def test_rta_restricts_cha_dispatch():
+    program, _ = build(CHA_APP)
+    module = program.module
+    rta = instantiated_classes(module)
+    assert "Left" in rta and "Right" not in rta
+    method = module.lookup_method("A", "onCreate")
+    call = [i for i in method.instructions() if isinstance(i, Invoke)
+            and i.methodref.method_name == "work"][0]
+    targets = {m.qualified_name for m in dispatch_targets(module, call, rta)}
+    assert "Left.work" in targets
+    assert "Right.work" not in targets
+    # pure CHA (no RTA set) includes every override
+    cha = {m.qualified_name for m in dispatch_targets(module, call, None)}
+    assert {"Left.work", "Right.work"} <= cha
+
+
+def test_reachable_from_respects_skip():
+    program, _ = build(CHA_APP)
+    graph = build_cha_callgraph(program.module)
+    reach = graph.reachable_from({"A.onCreate"})
+    assert "Left.work" in reach
+    stopped = graph.reachable_from({"A.onCreate"}, skip={"A.onCreate"})
+    assert stopped == {"A.onCreate"}
+
+
+# -- escape -----------------------------------------------------------------------
+
+def test_static_reachable_objects_escape():
+    source = """
+    class Item { }
+    class Registry3 { static Item kept; }
+    class A extends Activity {
+      void onCreate(Bundle b) {
+        Registry3.kept = new Item();
+        Item local = new Item();
+      }
+    }
+    """
+    program, pointsto = build(source)
+    escaping = compute_escaping(pointsto, program)
+    classes = {pointsto.class_of(o) for o in escaping}
+    assert "Item" in classes
+    kept = {o for o in escaping if pointsto.class_of(o) == "Item"}
+    assert len(kept) == 1, "the purely-local Item must not escape"
+
+
+# -- MHP -----------------------------------------------------------------------------
+
+def test_mhp_orders_poster_and_postee():
+    source = """
+    class A extends Activity {
+      Handler h;
+      void onCreate(Bundle b) {
+        h = new Handler();
+        h.post(new Runnable() { public void run() { } });
+      }
+      void onPause() { }
+    }
+    """
+    program, _ = build(source)
+    forest = program.forest
+    on_create = next(n for n in forest if n.method_name == "onCreate")
+    postee = next(n for n in forest if n.method_name == "run")
+    on_pause = next(n for n in forest if n.method_name == "onPause")
+    assert not may_happen_in_parallel(forest, on_create, postee)
+    assert may_happen_in_parallel(forest, on_pause, postee)
+    assert not may_happen_in_parallel(forest, on_create, on_create)
+
+
+# -- generic dataflow ----------------------------------------------------------------
+
+def test_forward_dataflow_must_join():
+    source = """
+    class A extends Activity {
+      void onCreate(Bundle b) {
+        int x = 0;
+        if (x == 0) { x = 1; } else { x = 2; }
+        int y = x;
+      }
+    }
+    """
+    module = compile_app(source)
+    method = module.lookup_method("A", "onCreate")
+
+    def transfer(instr: Instruction, state: frozenset) -> frozenset:
+        target = instr.target_local()
+        if target == "x":
+            return state | {instr.uid}
+        return state
+
+    states = run_forward(method, frozenset(), transfer, lambda a, b: a & b)
+    y_def = [i for i in method.instructions() if i.target_local() == "y"][0]
+    # must-join: only the initial x-def is on every path... but both
+    # branches define x, so the intersection at the join keeps exactly the
+    # common prefix definitions
+    assert states[y_def.uid]  # the initial definition survives the join

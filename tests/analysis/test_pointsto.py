@@ -1,0 +1,182 @@
+"""Unit tests for the k-object-sensitive points-to analysis."""
+
+import pytest
+
+from repro.analysis import run_pointsto
+from repro.lowering import compile_app
+from repro.threadify import threadify
+
+
+def pts_for(source, k=2):
+    program = threadify(compile_app(source, seal=False))
+    return run_pointsto(program.module, k=k), program
+
+
+APP = """
+class Box { Item item; }
+class Item { void poke() { } }
+class A extends Activity {
+  Box box;
+  void onCreate(Bundle b) {
+    box = new Box();
+    box.item = new Item();
+  }
+  void onResume() {
+    Item it = box.item;
+    it.poke();
+  }
+}
+"""
+
+
+def test_allocation_flows_through_field_load():
+    result, _ = pts_for(APP)
+    objs = result.pts("A.onResume", "it")
+    assert len(objs) == 1
+    assert result.class_of(next(iter(objs))) == "Item"
+
+
+def test_receiver_contexts_reach_callbacks():
+    result, _ = pts_for(APP)
+    this_objs = result.pts("A.onCreate", "this")
+    assert result.classes_of(this_objs) == {"A"}
+    assert result.contexts.get("A.onCreate")
+
+
+def test_call_graph_edges_through_virtual_dispatch():
+    result, _ = pts_for(APP)
+    edges = result.ci_call_edges()
+    callees = {c for _uid, c in edges.get("A.onResume", set())}
+    assert "Item.poke" in callees
+
+
+def test_return_value_flow():
+    source = """
+    class Item { void poke() { } }
+    class Maker {
+      Item make() { return new Item(); }
+    }
+    class A extends Activity {
+      Maker maker;
+      void onCreate(Bundle b) {
+        maker = new Maker();
+        Item it = maker.make();
+        it.poke();
+      }
+    }
+    """
+    result, _ = pts_for(source)
+    objs = result.pts("A.onCreate", "it")
+    assert result.classes_of(objs) == {"Item"}
+
+
+def test_static_field_flow():
+    source = """
+    class Item { void poke() { } }
+    class Registry2 { static Item current; }
+    class A extends Activity {
+      void onCreate(Bundle b) { Registry2.current = new Item(); }
+      void onResume() {
+        Item it = Registry2.current;
+        it.poke();
+      }
+    }
+    """
+    result, _ = pts_for(source)
+    assert result.classes_of(result.pts("A.onResume", "it")) == {"Item"}
+
+
+def test_k0_merges_constructor_contexts_k2_separates():
+    source = """
+    class Inner { }
+    class Outer {
+      Inner inner;
+      Outer() { inner = new Inner(); }
+    }
+    class A extends Activity {
+      Outer first;
+      Outer second;
+      void onCreate(Bundle b) {
+        first = new Outer();
+        second = new Outer();
+      }
+      void onResume() {
+        Inner x = first.inner;
+        Inner y = second.inner;
+      }
+    }
+    """
+    k0, _ = pts_for(source, k=1)
+    x0 = k0.pts("A.onResume", "x")
+    y0 = k0.pts("A.onResume", "y")
+    assert x0 == y0 and len(x0) == 1, "k=1 cannot tell the inners apart"
+
+    k2, _ = pts_for(source, k=2)
+    x2 = k2.pts("A.onResume", "x")
+    y2 = k2.pts("A.onResume", "y")
+    assert x2 != y2
+    assert not (x2 & y2)
+
+
+def test_static_method_allocation_has_no_context():
+    source = """
+    class Inner { }
+    class Outer {
+      Inner inner;
+      Outer() { inner = new Inner(); }
+      static Outer make() { return new Outer(); }
+    }
+    class A extends Activity {
+      Outer first;
+      Outer second;
+      void onCreate(Bundle b) {
+        first = Outer.make();
+        second = Outer.make();
+      }
+      void onResume() {
+        Inner x = first.inner;
+        Inner y = second.inner;
+      }
+    }
+    """
+    result, _ = pts_for(source, k=3)
+    x = result.pts("A.onResume", "x")
+    y = result.pts("A.onResume", "y")
+    assert x == y, "section 8.5: static factories lose context at any k"
+
+
+def test_interface_dispatch_through_registry():
+    source = """
+    class A extends Activity {
+      Handler handler;
+      static boolean hit;
+      void onCreate(Bundle b) {
+        handler = new Handler();
+        handler.post(new Job2());
+      }
+    }
+    class Job2 implements Runnable {
+      public void run() { A.hit = true; }
+    }
+    """
+    result, _ = pts_for(source)
+    assert "Job2.run" in result.reachable_methods()
+
+
+def test_unreachable_method_not_analyzed():
+    source = """
+    class A extends Activity {
+      void onCreate(Bundle b) { }
+      void helper() { }
+    }
+    class Orphan {
+      void lonely() { }
+    }
+    """
+    result, _ = pts_for(source)
+    assert "Orphan.lonely" not in result.reachable_methods()
+
+
+def test_average_pts_size_positive():
+    result, _ = pts_for(APP)
+    assert result.average_pts_size() >= 1.0

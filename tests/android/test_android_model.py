@@ -1,0 +1,172 @@
+"""Android model unit tests: lifecycle automaton, API table, manifests,
+framework stubs."""
+
+import pytest
+
+from repro.android import (
+    ACTIVITY_MHB,
+    activity_mhb,
+    ApiKind,
+    ASYNCTASK_MHB,
+    build_framework_classes,
+    component_kind_of,
+    FRAMEWORK_SPEC,
+    infer_manifest,
+    lookup_api,
+    Manifest,
+    ComponentDecl,
+    SERVICE_MHB,
+    sound_mhb_pairs,
+    SYSTEM_CALLBACKS,
+    UI_CALLBACKS,
+)
+from repro.lowering import compile_app
+
+UI_SYS = UI_CALLBACKS | SYSTEM_CALLBACKS
+
+
+# -- lifecycle automaton --------------------------------------------------------
+
+def test_oncreate_precedes_everything():
+    for later in ("onStart", "onResume", "onPause", "onStop", "onDestroy"):
+        assert ("onCreate", later) in ACTIVITY_MHB
+
+
+def test_everything_precedes_ondestroy():
+    for earlier in ("onCreate", "onStart", "onResume", "onPause", "onStop"):
+        assert (earlier, "onDestroy") in ACTIVITY_MHB
+
+
+def test_no_mhb_among_resumable_states():
+    """The back edges (section 6.1.1): no sound order between onResume,
+    onPause, onStart, onStop, onRestart in either direction."""
+    resumable = ("onStart", "onResume", "onPause", "onStop", "onRestart")
+    for a in resumable:
+        for b in resumable:
+            if a != b:
+                assert (a, b) not in ACTIVITY_MHB, (a, b)
+
+
+def test_mhb_is_irreflexive_and_antisymmetric():
+    for (a, b) in ACTIVITY_MHB:
+        assert a != b
+        assert (b, a) not in ACTIVITY_MHB
+
+
+def test_ui_callbacks_bracketed_by_create_and_destroy():
+    assert activity_mhb("onCreate", "onClick", frozenset(UI_SYS))
+    assert activity_mhb("onClick", "onDestroy", frozenset(UI_SYS))
+    assert not activity_mhb("onClick", "onPause", frozenset(UI_SYS))
+
+
+def test_service_mhb_bind_before_destroy():
+    assert ("onCreate", "onDestroy") in SERVICE_MHB
+    assert ("onBind", "onDestroy") in SERVICE_MHB
+    assert ("onDestroy", "onBind") not in SERVICE_MHB
+
+
+def test_asynctask_mhb_contract():
+    assert ("onPreExecute", "doInBackground") in ASYNCTASK_MHB
+    assert ("doInBackground", "onPostExecute") in ASYNCTASK_MHB
+    # doInBackground and onProgressUpdate are concurrent, not ordered
+    assert ("doInBackground", "onProgressUpdate") not in ASYNCTASK_MHB
+
+
+def test_sound_mhb_pairs_respects_cycles():
+    transitions = {
+        "<launch>": ("a",),
+        "a": ("b",),
+        "b": ("a", "c"),
+        "c": (),
+    }
+    pairs = sound_mhb_pairs(transitions)
+    assert ("a", "c") in pairs and ("b", "c") in pairs
+    assert ("a", "b") not in pairs  # a<->b cycle kills the order
+
+
+# -- API table ----------------------------------------------------------------------
+
+def test_lookup_api_walks_subclass_chain():
+    module = compile_app(
+        "class MyHandler extends Handler { }", seal=True
+    )
+    spec = lookup_api(module, "MyHandler", "post")
+    assert spec is not None and spec.kind is ApiKind.POST_RUNNABLE
+    assert lookup_api(module, "MyHandler", "sendMessage").kind \
+        is ApiKind.SEND_MESSAGE
+
+
+def test_lookup_api_unknown_method_is_none():
+    module = compile_app("class A { void post() { } }", seal=True)
+    # A does not subclass Handler/View: its own `post` is not an API
+    assert lookup_api(module, "A", "post") is None
+
+
+def test_cancellation_apis_present():
+    module = compile_app("class A extends Activity { }", seal=True)
+    assert lookup_api(module, "A", "finish").kind is ApiKind.CANCEL_FINISH
+    assert lookup_api(module, "A", "unbindService").kind \
+        is ApiKind.CANCEL_UNBIND
+
+
+# -- framework stubs ------------------------------------------------------------------
+
+def test_framework_classes_materialize_spec():
+    classes = {c.name: c for c in build_framework_classes()}
+    assert set(classes) == set(FRAMEWORK_SPEC)
+    assert classes["Runnable"].is_interface
+    assert not classes["Handler"].is_interface
+    # reference-returning stubs allocate (environment objects)
+    find_view = classes["Activity"].methods["findViewById"]
+    from repro.ir import New
+
+    assert any(isinstance(i, New) for i in find_view.instructions())
+
+
+def test_interface_methods_have_no_bodies():
+    classes = {c.name: c for c in build_framework_classes()}
+    run = classes["Runnable"].methods["run"]
+    assert not run.cfg.blocks
+
+
+# -- manifests -------------------------------------------------------------------------
+
+def test_infer_manifest_classifies_components():
+    module = compile_app(
+        """
+        class Main extends Activity { }
+        class Sync extends Service { }
+        class Boot extends BroadcastReceiver {
+          public void onReceive(Context c, Intent i) { }
+        }
+        class Helper { }
+        """,
+        seal=True,
+    )
+    manifest = infer_manifest(module)
+    kinds = {name: decl.kind for name, decl in manifest.components.items()}
+    assert kinds == {"Main": "activity", "Sync": "service", "Boot": "receiver"}
+    assert manifest.components["Main"].main
+
+
+def test_component_kind_through_app_superclass():
+    module = compile_app(
+        """
+        class BaseActivity extends Activity { }
+        class Child extends BaseActivity { }
+        """,
+        seal=True,
+    )
+    assert component_kind_of(module, "Child") == "activity"
+
+
+def test_manifest_reachability_default_true():
+    manifest = Manifest()
+    manifest.add(ComponentDecl("X", "activity", reachable=False))
+    assert not manifest.is_reachable("X")
+    assert manifest.is_reachable("UnknownClass")
+
+
+def test_component_decl_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        ComponentDecl("X", "widget")

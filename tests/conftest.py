@@ -1,0 +1,15 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.lowering import compile_app
+
+
+@pytest.fixture
+def compile_source():
+    """Compile MiniDroid source text to a sealed, verified IR module."""
+
+    def _compile(source: str, **kwargs):
+        return compile_app(source, **kwargs)
+
+    return _compile

@@ -1,0 +1,119 @@
+"""Corpus integrity: every app compiles, analyzes, and matches its spec."""
+
+import pytest
+
+from repro.core import analyze_module
+from repro.corpus import all_apps, app, train_apps
+from repro.corpus import test_apps as corpus_test_group
+
+ALL_NAMES = sorted(a.name for a in all_apps())
+
+_RESULTS = {}
+
+
+def analyzed(spec):
+    if spec.name not in _RESULTS:
+        module = spec.compile()
+        _RESULTS[spec.name] = analyze_module(module, spec.manifest_for(module))
+    return _RESULTS[spec.name]
+
+
+def test_corpus_has_27_apps():
+    assert len(all_apps()) == 27
+    assert len(train_apps()) == 7
+    assert len(corpus_test_group()) == 20
+
+
+def test_app_names_unique_and_sources_exist():
+    for spec in all_apps():
+        assert spec.source().strip(), f"{spec.name} source is empty"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_app_compiles_and_seals(name):
+    spec = app(name)
+    result = analyzed(spec)
+    assert result.program.module.sealed
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_surviving_fields_match_ground_truth(name):
+    spec = app(name)
+    result = analyzed(spec)
+    surviving = {w.fieldref.field_name for w in result.remaining()}
+    expected = set(spec.true_uaf_fields) | set(spec.fp_fields)
+    assert surviving == expected, (
+        f"{name}: surviving {sorted(surviving)} != expected {sorted(expected)}"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_counts_are_monotone(name):
+    spec = app(name)
+    counts = analyzed(spec).counts()
+    assert counts["potential"] >= counts["after_sound"] >= counts["after_unsound"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_shape_matches_paper_row(name):
+    """Zero/non-zero structure of the Table 1 row is preserved."""
+    spec = app(name)
+    counts = analyzed(spec).counts()
+    assert (counts["potential"] > 0) == (spec.paper.potential > 0)
+    assert (counts["after_unsound"] > 0) == (spec.paper.after_unsound > 0)
+    if spec.paper.after_sound == 0:
+        assert counts["after_sound"] == 0
+
+
+def test_true_uafs_concentrate_in_pc_and_thread_categories():
+    """Section 8.4's hypotheses: harmful UAFs live mostly where PCs or
+    non-reachable threads are involved."""
+    harmful_categories = []
+    for spec in all_apps():
+        if not spec.true_uaf_fields:
+            continue
+        result = analyzed(spec)
+        for w in result.remaining():
+            if w.fieldref.field_name in spec.true_uaf_fields:
+                harmful_categories.append(w.pair_type())
+    assert harmful_categories
+    pc_or_thread = [
+        c for c in harmful_categories
+        if "PC" in c or c in ("C-RT", "C-NT")
+    ]
+    assert len(pc_or_thread) / len(harmful_categories) > 0.8
+
+
+def test_total_true_fields_shape():
+    # paper: 88 harmful UAFs concentrated in 6 apps; we scale the counts
+    # but keep the distribution
+    apps_with_true = {a.name for a in all_apps() if a.true_uaf_fields}
+    assert apps_with_true == {
+        "connectbot", "mytracks1", "firefox", "aard", "mytracks2", "qksms",
+    }
+
+
+@pytest.mark.parametrize(
+    "name", ["connectbot", "aard", "qksms", "mytracks2"]
+)
+def test_validator_confirms_ground_truth_sample(name):
+    """Dynamic cross-check on a fast subset (the full sweep is a bench)."""
+    from repro.runtime import Simulator, validate_warning
+
+    spec = app(name)
+    result = analyzed(spec)
+    program = result.program
+
+    def make_sim():
+        return Simulator(program.module, program.manifest)
+
+    for warning in result.remaining():
+        expected = warning.fieldref.field_name in spec.true_uaf_fields
+        verdict = validate_warning(
+            make_sim, warning, random_attempts=40,
+            systematic_branches=15, max_decisions=800,
+        )
+        assert verdict.confirmed == expected, (
+            f"{name}.{warning.fieldref.field_name}: "
+            f"confirmed={verdict.confirmed}, expected={expected}"
+        )

@@ -1,0 +1,56 @@
+"""Injector unit tests: patch integrity and injection census."""
+
+import pytest
+
+from repro.corpus.injector import (
+    all_injections,
+    DETECTED,
+    INJECTED_APPS,
+    injected_module,
+    injected_source,
+    injections_for,
+    MISSED,
+    PRUNED_UNSOUND,
+)
+
+
+def test_injection_totals_match_paper():
+    injections = all_injections()
+    assert len(injections) == 28
+    by_expectation = {}
+    for injection in injections:
+        by_expectation.setdefault(injection.expectation, []).append(injection)
+    assert len(by_expectation[MISSED]) == 2
+    assert len(by_expectation[PRUNED_UNSOUND]) == 3
+    assert len(by_expectation[DETECTED]) == 23
+
+
+def test_per_app_counts_match_table2():
+    counts = {name: len(injections_for(name)) for name in INJECTED_APPS}
+    assert counts == {
+        "tomdroid": 1, "sgtpuzzles": 9, "aard": 1, "music": 6,
+        "mms": 6, "browser": 3, "mytracks2": 1, "k9mail": 1,
+    }
+
+
+@pytest.mark.parametrize("name", INJECTED_APPS)
+def test_injected_source_differs_and_compiles(name):
+    from repro.corpus import app
+
+    original = app(name).source()
+    patched = injected_source(name)
+    assert patched != original
+    assert "injected" in patched
+    module = injected_module(name)
+    assert module.lookup_class("DummyMain") is None  # not yet threadified
+
+
+def test_injection_ids_unique():
+    ids = [i.injection_id for i in all_injections()]
+    assert len(set(ids)) == len(ids)
+
+
+def test_patches_only_touch_their_app():
+    # applying tomdroid's patches must not depend on other apps' sources
+    text = injected_source("tomdroid")
+    assert "syncManager = null;" in text

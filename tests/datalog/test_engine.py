@@ -1,0 +1,210 @@
+"""Datalog engine unit tests: joins, recursion, negation, stratification."""
+
+import pytest
+
+from repro.datalog import (
+    evaluate,
+    Literal,
+    parse,
+    Program,
+    query,
+    StratificationError,
+    Var,
+    vars_,
+)
+
+
+def test_facts_only():
+    program = Program().fact("edge", 1, 2).fact("edge", 2, 3)
+    assert query(program, "edge") == {(1, 2), (2, 3)}
+
+
+def test_simple_join():
+    X, Y, Z = vars_("X Y Z")
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 3).fact("edge", 3, 4)
+        .rule(Literal("two", (X, Z)),
+              Literal("edge", (X, Y)), Literal("edge", (Y, Z)))
+    )
+    assert query(program, "two") == {(1, 3), (2, 4)}
+
+
+def test_transitive_closure():
+    X, Y, Z = vars_("X Y Z")
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 3).fact("edge", 3, 4)
+        .rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+        .rule(Literal("path", (X, Z)),
+              Literal("path", (X, Y)), Literal("edge", (Y, Z)))
+    )
+    assert query(program, "path") == {
+        (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
+    }
+
+
+def test_cyclic_graph_terminates():
+    X, Y, Z = vars_("X Y Z")
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 1)
+        .rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+        .rule(Literal("path", (X, Z)),
+              Literal("path", (X, Y)), Literal("edge", (Y, Z)))
+    )
+    assert query(program, "path") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+
+def test_constants_in_rule_body():
+    X = Var("X")
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 3)
+        .rule(Literal("from_one", (X,)), Literal("edge", (1, X)))
+    )
+    assert query(program, "from_one") == {(2,)}
+
+
+def test_builtin_neq():
+    X, Y = vars_("X Y")
+    program = (
+        Program()
+        .fact("n", 1).fact("n", 2)
+        .rule(Literal("pair", (X, Y)),
+              Literal("n", (X,)), Literal("n", (Y,)), Literal("!=", (X, Y)))
+    )
+    assert query(program, "pair") == {(1, 2), (2, 1)}
+
+
+def test_builtin_lt():
+    X, Y = vars_("X Y")
+    program = (
+        Program()
+        .fact("n", 1).fact("n", 2).fact("n", 3)
+        .rule(Literal("less", (X, Y)),
+              Literal("n", (X,)), Literal("n", (Y,)), Literal("<", (X, Y)))
+    )
+    assert (1, 2) in query(program, "less")
+    assert (2, 1) not in query(program, "less")
+
+
+def test_negation_on_edb():
+    X = Var("X")
+    program = (
+        Program()
+        .fact("n", 1).fact("n", 2).fact("bad", 2)
+        .rule(Literal("good", (X,)),
+              Literal("n", (X,)), Literal("bad", (X,), negated=True))
+    )
+    assert query(program, "good") == {(1,)}
+
+
+def test_negation_across_strata():
+    X, Y = vars_("X Y")
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 3)
+        .rule(Literal("reach", (X,)), Literal("edge", (1, X)))
+        .rule(Literal("reach", (Y,)),
+              Literal("reach", (X,)), Literal("edge", (X, Y)))
+        .rule(Literal("unreach", (X,)),
+              Literal("edge", (X, Y)),
+              Literal("reach", (X,), negated=True))
+    )
+    assert query(program, "unreach") == {(1,)}
+
+
+def test_negation_in_cycle_rejected():
+    X = Var("X")
+    program = (
+        Program()
+        .fact("n", 1)
+        .rule(Literal("p", (X,)),
+              Literal("n", (X,)), Literal("q", (X,), negated=True))
+        .rule(Literal("q", (X,)),
+              Literal("n", (X,)), Literal("p", (X,), negated=True))
+    )
+    with pytest.raises(StratificationError):
+        evaluate(program)
+
+
+def test_unbound_head_variable_rejected():
+    X, Y = vars_("X Y")
+    with pytest.raises(ValueError):
+        Program().rule(Literal("p", (X, Y)), Literal("n", (X,)))
+
+
+def test_unbound_negated_variable_rejected():
+    X, Y = vars_("X Y")
+    with pytest.raises(ValueError):
+        Program().rule(
+            Literal("p", (X,)),
+            Literal("n", (X,)),
+            Literal("m", (Y,), negated=True),
+        )
+
+
+def test_semi_naive_matches_naive_on_random_graph():
+    import random
+
+    rng = random.Random(42)
+    edges = {(rng.randrange(12), rng.randrange(12)) for _ in range(30)}
+    X, Y, Z = vars_("X Y Z")
+    program = Program().add_facts("edge", edges)
+    program.rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+    program.rule(
+        Literal("path", (X, Z)),
+        Literal("path", (X, Y)), Literal("edge", (Y, Z)),
+    )
+    got = query(program, "path")
+    # reference: naive fixpoint
+    expected = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(expected):
+            for (c, d) in edges:
+                if b == c and (a, d) not in expected:
+                    expected.add((a, d))
+                    changed = True
+    assert got == expected
+
+
+# -- textual syntax ------------------------------------------------------------
+
+
+def test_parse_and_run_program():
+    program = parse(
+        """
+        % a small family tree
+        parent(alice, bob).
+        parent(bob, carol).
+        ancestor(X, Y) :- parent(X, Y).
+        ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+        """
+    )
+    assert query(program, "ancestor") == {
+        ("alice", "bob"), ("bob", "carol"), ("alice", "carol"),
+    }
+
+
+def test_parse_builtin_and_negation():
+    program = parse(
+        """
+        n(1). n(2). n(3).
+        big(X) :- n(X), 1 < X.
+        small(X) :- n(X), !big(X).
+        """
+    )
+    assert query(program, "small") == {(1,)}
+
+
+def test_parse_strings_and_uppercase_vars():
+    program = parse('name("widget", X) :- id(X).\nid(7).')
+    assert query(program, "name") == {("widget", 7)}
+
+
+def test_parse_error_on_variable_fact():
+    with pytest.raises(Exception):
+        parse("p(X).")

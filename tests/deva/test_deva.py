@@ -1,0 +1,120 @@
+"""DEvA baseline tests: it must exhibit exactly the limitations the paper
+attributes to it (section 2.3 / 8.7)."""
+
+import pytest
+
+from repro.core import analyze_app
+from repro.deva import run_deva
+
+
+def deva_on(source):
+    result = analyze_app(source)
+    return result, run_deva(result.program.module)
+
+
+def test_deva_detects_intra_class_pair():
+    result, warnings = deva_on(
+        """
+        class F { void use() { } }
+        class A extends Activity {
+          F f;
+          void onResume() { f.use(); }
+          void onDestroy() { f = null; }
+        }
+        """
+    )
+    harmful = [w for w in warnings if w.harmful and w.field_name == "f"]
+    assert harmful, "DEvA finds intra-class event anomalies"
+
+
+def test_deva_reports_ondestroy_pairs_nadroid_filters():
+    # Table 3: DEvA marks use-vs-onDestroy-free harmful; nAdroid's MHB
+    # filter prunes it.
+    source = """
+    class MusicAdapter { void notify2() { } }
+    class AlbumBrowserActivity extends Activity {
+      MusicAdapter mAdapter;
+      void onActivityResult(int rq, int rs, Intent d) { mAdapter.notify2(); }
+      void onDestroy() { mAdapter = null; }
+    }
+    """
+    result, warnings = deva_on(source)
+    deva_harmful = [w for w in warnings if w.harmful]
+    assert deva_harmful, "DEvA reports the onDestroy pair as harmful"
+    # nAdroid detects the same pair but filters it via MHB
+    keys = {w.key for w in result.warnings}
+    assert any(w.key in keys for w in deva_harmful), "nAdroid detects it too"
+    assert not result.remaining(), "nAdroid's MHB filter prunes it"
+
+
+def test_deva_misses_inter_class_pair_nadroid_finds():
+    # Figure 1(a)-style: the frees live in a separate top-level class.
+    source = """
+    class F { void use() { } }
+    class A extends Activity {
+      F f;
+      Conn conn;
+      void onStart() {
+        conn = new Conn();
+        conn.owner = this;
+        bindService(new Intent("s"), conn, 0);
+      }
+      void onCreateContextMenu(ContextMenu m, View v, ContextMenuInfo i) {
+        f.use();
+      }
+    }
+    class Conn implements ServiceConnection {
+      A owner;
+      public void onServiceConnected(ComponentName n, IBinder s) {
+        owner.f = new F();
+      }
+      public void onServiceDisconnected(ComponentName n) {
+        owner.f = null;
+      }
+    }
+    """
+    result, warnings = deva_on(source)
+    assert not [w for w in warnings if w.harmful and w.field_name == "f"], \
+        "DEvA's intra-class scope misses the cross-class pair"
+    assert [w for w in result.remaining() if w.fieldref.field_name == "f"], \
+        "nAdroid finds it"
+
+
+def test_deva_unsound_guard_misses_cross_thread_uaf():
+    # Figure 1(c)-style: DEvA trusts the guard although the free runs on a
+    # background thread.
+    source = """
+    class JavaClient { void abort() { } }
+    class GeckoApp extends Activity {
+      JavaClient jClient;
+      ExecutorService pool;
+      void onResume() {
+        jClient = new JavaClient();
+        pool.execute(new Runnable() {
+          public void run() { jClient = null; }
+        });
+      }
+      void onPause() {
+        if (jClient != null) { jClient.abort(); }
+      }
+    }
+    """
+    result, warnings = deva_on(source)
+    harmful = [w for w in warnings if w.harmful and w.field_name == "jClient"
+               and "onPause" in w.use_method]
+    assert not harmful, "DEvA's unsound IG filter suppresses the real bug"
+    assert [w for w in result.remaining()
+            if w.fieldref.field_name == "jClient"], "nAdroid keeps it"
+
+
+def test_deva_same_method_pairs_not_reported():
+    _result, warnings = deva_on(
+        """
+        class F { void use() { } }
+        class A extends Activity {
+          F f;
+          void onResume() { f.use(); f = null; }
+        }
+        """
+    )
+    assert not [w for w in warnings if w.field_name == "f"]

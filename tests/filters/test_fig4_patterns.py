@@ -1,0 +1,326 @@
+"""Figure 4: one micro-app per filter pattern (a)-(g).
+
+Each test checks three things: the potential UAF *is* detected, the
+expected filter prunes it, and the final report is clean (or not, for the
+negative controls).
+"""
+
+import pytest
+
+from repro.core import analyze_app
+
+
+def warnings_on(result, field_name, collection=None):
+    pool = result.warnings if collection is None else collection
+    return [w for w in pool if w.fieldref.field_name == field_name]
+
+
+def pruners_of(warning):
+    names = set()
+    for occ in warning.occurrences:
+        if occ.pruned_by:
+            names.add(occ.pruned_by)
+        if occ.downgraded_by:
+            names.add(occ.downgraded_by)
+    return names
+
+
+# -- (a) MHB-Service ---------------------------------------------------------
+
+FIG4A = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  void onStart() {
+    bindService(new Intent("svc"), new ServiceConnection() {
+      public void onServiceConnected(ComponentName name, IBinder service) {
+        f = new F();
+        f.use();
+      }
+      public void onServiceDisconnected(ComponentName name) {
+        f = null;
+      }
+    }, 0);
+  }
+}
+"""
+
+
+def test_fig4a_mhb_service_prunes_connected_vs_disconnected():
+    result = analyze_app(FIG4A)
+    potential = warnings_on(result, "f")
+    assert potential, "use/free pair must be detected before filtering"
+    assert not warnings_on(result, "f", result.remaining())
+    # the connected-vs-disconnected pair is specifically pruned by MHB
+    # (the use also happens to be IA-protected by the fresh allocation).
+    assert any(
+        "MHB" in pruners_of(w) or "IA" in pruners_of(w) for w in potential
+    )
+    mhb_pruned = [w for w in potential if "MHB" in pruners_of(w)]
+    assert mhb_pruned, "MHB must fire on the service-connection contract"
+
+
+# -- (b) If-Guard -----------------------------------------------------------------
+
+FIG4B = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        if (f != null) {
+          f.use();
+        }
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_fig4b_if_guard_prunes_same_looper_pair():
+    result = analyze_app(FIG4B)
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.remaining())
+    guarded = [w for w in potential if "IG" in pruners_of(w)]
+    assert guarded, "the guarded use must be pruned by IG"
+
+
+def test_fig4b_without_guard_survives():
+    source = FIG4B.replace(
+        """        if (f != null) {
+          f.use();
+        }""",
+        "        f.use();",
+    )
+    result = analyze_app(source)
+    assert warnings_on(result, "f", result.remaining()), \
+        "without the guard the same pair must survive"
+
+
+# -- (c) Intra-Allocation ----------------------------------------------------------
+
+FIG4C = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = new F();
+        f.use();
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_fig4c_intra_allocation_prunes():
+    result = analyze_app(FIG4C)
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.remaining())
+    assert any("IA" in pruners_of(w) for w in potential)
+
+
+# -- (d) Resume-Happens-Before ------------------------------------------------------
+
+FIG4D = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View button;
+  void onCreate(Bundle b) {
+    button.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f.use();
+      }
+    });
+  }
+  void onResume() {
+    f = new F();
+  }
+  void onPause() {
+    f = null;
+  }
+}
+"""
+
+
+def test_fig4d_rhb_prunes_when_onresume_reallocates():
+    result = analyze_app(FIG4D)
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.remaining())
+    assert any("RHB" in pruners_of(w) for w in potential)
+
+
+def test_fig4d_without_reallocation_survives():
+    source = FIG4D.replace("  void onResume() {\n    f = new F();\n  }\n", "")
+    result = analyze_app(source)
+    assert warnings_on(result, "f", result.remaining()), \
+        "the paper's back-button UAF: no onResume allocation, no pruning"
+
+
+def test_fig4d_mhb_does_not_apply_to_resume_pause():
+    # soundness check on the lifecycle automaton: no MHB between the UI
+    # callback and onPause (the back edge makes them circular).
+    result = analyze_app(FIG4D)
+    for warning in warnings_on(result, "f"):
+        assert "MHB" not in pruners_of(warning)
+
+
+# -- (e) Cancel-Happens-Before -------------------------------------------------------
+
+FIG4E = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        finish();
+        f = null;
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f.use();
+      }
+    });
+  }
+}
+"""
+
+
+def test_fig4e_chb_prunes_free_after_finish():
+    result = analyze_app(FIG4E)
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.remaining())
+    assert any("CHB" in pruners_of(w) for w in potential)
+
+
+def test_fig4e_without_finish_survives():
+    source = FIG4E.replace("        finish();\n", "")
+    result = analyze_app(source)
+    assert warnings_on(result, "f", result.remaining())
+
+
+# -- (f) Post-Happens-Before -----------------------------------------------------------
+
+FIG4F = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  MyHandler handler;
+  View button;
+  void onCreate(Bundle b) {
+    handler = new MyHandler();
+    handler.app = this;
+    button.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        handler.sendEmptyMessage(1);
+        f.use();
+      }
+    });
+  }
+}
+class MyHandler extends Handler {
+  A app;
+  public void handleMessage(Message msg) {
+    app.f = null;
+  }
+}
+"""
+
+
+def test_fig4f_phb_prunes_poster_vs_postee():
+    result = analyze_app(FIG4F)
+    potential = warnings_on(result, "f")
+    assert potential, "poster/postee pair must first be detected"
+    assert not warnings_on(result, "f", result.remaining())
+    assert any("PHB" in pruners_of(w) for w in potential)
+
+
+# -- (g) Used-for-Return ---------------------------------------------------------------
+
+FIG4G = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  F getF() { return f; }
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        if (getF() != null) {
+          Log.d("a", "present");
+        }
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_fig4g_ur_prunes_getter_return_use():
+    result = analyze_app(FIG4G)
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.remaining())
+    assert any("UR" in pruners_of(w) for w in potential)
+
+
+# -- TT (6.2.4) --------------------------------------------------------------------------
+
+TT_APP = """
+class F { void use() { } }
+class Shared { static F f; }
+class A extends Activity {
+  void onCreate(Bundle b) {
+    Shared.f = new F();
+    new Thread(new W1()).start();
+    new Thread(new W2()).start();
+  }
+}
+class W1 implements Runnable {
+  public void run() { Shared.f.use(); }
+}
+class W2 implements Runnable {
+  public void run() { Shared.f = null; }
+}
+"""
+
+
+def test_tt_filter_downgrades_native_native_pairs():
+    result = analyze_app(TT_APP)
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.remaining())
+    assert any("TT" in pruners_of(w) for w in potential)

@@ -1,0 +1,228 @@
+"""Unit tests for the guard/allocation/UR support analyses."""
+
+import pytest
+
+from repro.filters.guards import (
+    AllocAnalysis,
+    deref_consumer_uids,
+    GuardAnalysis,
+    use_is_benign,
+    use_is_pure_check,
+)
+from repro.ir import GetField, Invoke
+from repro.lowering import compile_app
+
+
+def method_of(source, class_name="A", method_name="m"):
+    module = compile_app(source)
+    return module, module.lookup_method(class_name, method_name)
+
+
+def field_uses(method, field_name):
+    return [
+        i for i in method.instructions()
+        if isinstance(i, GetField) and i.fieldref.field_name == field_name
+    ]
+
+
+GUARDED = """
+class F { void use() { } }
+class A {
+  F f;
+  void m() {
+    if (f != null) {
+      f.use();
+    }
+  }
+}
+"""
+
+
+def test_guarded_at_inside_branch_only():
+    module, method = method_of(GUARDED)
+    guards = GuardAnalysis(module, method)
+    check_read, guarded_read = field_uses(method, "f")
+    assert guards.guarded_at(guarded_read.uid, "this", "A", "f")
+    assert not guards.guarded_at(check_read.uid, "this", "A", "f")
+
+
+def test_pure_check_read_detected():
+    module, method = method_of(GUARDED)
+    check_read, guarded_read = field_uses(method, "f")
+    assert use_is_pure_check(module, method, check_read.uid)
+    assert not use_is_pure_check(module, method, guarded_read.uid)
+
+
+def test_inverted_guard_protects_else_branch():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          void m() {
+            if (f == null) {
+              Log.d("a", "missing");
+            } else {
+              f.use();
+            }
+          }
+        }
+        """
+    )
+    guards = GuardAnalysis(module, method)
+    uses = field_uses(method, "f")
+    deref = uses[-1]
+    assert guards.guarded_at(deref.uid, "this", "A", "f")
+
+
+def test_guard_killed_by_intervening_free():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          void m() {
+            if (f != null) {
+              f = null;
+              f.use();
+            }
+          }
+        }
+        """
+    )
+    guards = GuardAnalysis(module, method)
+    deref = field_uses(method, "f")[-1]
+    assert not guards.guarded_at(deref.uid, "this", "A", "f")
+
+
+def test_local_copy_guard_via_use_protected():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          void m() {
+            F copy = f;
+            if (copy != null) {
+              copy.use();
+            }
+          }
+        }
+        """
+    )
+    guards = GuardAnalysis(module, method)
+    read = field_uses(method, "f")[0]
+    assert not guards.guarded_at(read.uid, "this", "A", "f")
+    assert guards.use_protected(read.uid, "this", "A", "f")
+
+
+def test_guard_does_not_survive_merge_with_unguarded_path():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          void m(boolean flip) {
+            if (flip) {
+              if (f == null) {
+                return;
+              }
+            }
+            f.use();
+          }
+        }
+        """
+    )
+    guards = GuardAnalysis(module, method)
+    deref = field_uses(method, "f")[-1]
+    assert not guards.guarded_at(deref.uid, "this", "A", "f")
+
+
+def test_alloc_analysis_new_vs_call_sources():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          F g;
+          F make() { return new F(); }
+          void m() {
+            f = new F();
+            f.use();
+            g = make();
+            g.use();
+          }
+        }
+        """
+    )
+    allocs = AllocAnalysis(module, method)
+    f_use = field_uses(method, "f")[-1]
+    g_use = field_uses(method, "g")[-1]
+    assert allocs.allocated_at(f_use.uid, "this", "A", "f")
+    assert not allocs.allocated_at(g_use.uid, "this", "A", "g")
+    assert allocs.allocated_at(g_use.uid, "this", "A", "g", allow_calls=True)
+
+
+def test_alloc_fact_killed_by_null_store():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          void m() {
+            f = new F();
+            f = null;
+            f.use();
+          }
+        }
+        """
+    )
+    allocs = AllocAnalysis(module, method)
+    use = field_uses(method, "f")[-1]
+    assert not allocs.allocated_at(use.uid, "this", "A", "f")
+
+
+def test_deref_consumers_follow_copies():
+    module, method = method_of(
+        """
+        class F { void use() { } }
+        class A {
+          F f;
+          void m() {
+            F a = f;
+            F b = a;
+            b.use();
+          }
+        }
+        """
+    )
+    read = field_uses(method, "f")[0]
+    derefs = deref_consumer_uids(method, read.uid)
+    assert len(derefs) == 1
+    assert isinstance(module.instruction_at(derefs[0]), Invoke)
+
+
+def test_use_is_benign_for_return_and_args_only():
+    module = compile_app(
+        """
+        class F { }
+        class Host { void take(F x) { } }
+        class A {
+          F f;
+          Host host;
+          F getF() { return f; }
+          void pass() { host.take(f); }
+          void deref() { f.hashCode(); }
+        }
+        """
+    )
+    def only_use(name):
+        method = module.lookup_method("A", name)
+        return method, field_uses(method, "f")[0]
+
+    m, u = only_use("getF")
+    assert use_is_benign(module, m, u.uid)
+    m, u = only_use("pass")
+    assert use_is_benign(module, m, u.uid)
+    m, u = only_use("deref")
+    assert not use_is_benign(module, m, u.uid)

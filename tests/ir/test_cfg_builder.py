@@ -1,0 +1,131 @@
+"""CFG, builder, printer and verifier unit tests."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    ClassDef,
+    Const,
+    ControlFlowGraph,
+    format_method,
+    Goto,
+    If,
+    IRBuilder,
+    Local,
+    Method,
+    Module,
+    Return,
+    verify_method,
+    verify_module,
+)
+
+
+def diamond_cfg():
+    cfg = ControlFlowGraph()
+    entry = cfg.new_block("entry")
+    entry.instructions.append(If(Local("c"), "left", "right"))
+    left = cfg.new_block("left")
+    left.instructions.append(Goto("join"))
+    right = cfg.new_block("right")
+    right.instructions.append(Goto("join"))
+    join = cfg.new_block("join")
+    join.instructions.append(Return(None))
+    return cfg
+
+
+def test_successors_and_predecessors():
+    cfg = diamond_cfg()
+    assert set(cfg.successors("entry")) == {"left", "right"}
+    assert set(cfg.predecessors("join")) == {"left", "right"}
+    assert cfg.predecessors("entry") == []
+
+
+def test_reverse_postorder_entry_first_join_last():
+    cfg = diamond_cfg()
+    order = [b.label for b in cfg.reverse_postorder()]
+    assert order[0] == "entry"
+    assert order[-1] == "join"
+    assert set(order) == {"entry", "left", "right", "join"}
+
+
+def test_unreachable_block_not_in_rpo():
+    cfg = diamond_cfg()
+    dead = cfg.new_block("dead")
+    dead.instructions.append(Return(None))
+    assert "dead" not in {b.label for b in cfg.reverse_postorder()}
+    assert "dead" not in cfg.reachable_labels()
+
+
+def test_check_reports_missing_terminator_and_bad_jump():
+    cfg = ControlFlowGraph()
+    entry = cfg.new_block("entry")
+    entry.instructions.append(Goto("nowhere"))
+    block = cfg.new_block("b")  # no terminator
+    problems = cfg.check()
+    assert any("nowhere" in p for p in problems)
+    assert any("lacks a terminator" in p for p in problems)
+
+
+def test_duplicate_label_rejected():
+    cfg = ControlFlowGraph()
+    cfg.new_block("entry")
+    with pytest.raises(ValueError):
+        cfg.new_block("entry")
+
+
+def test_builder_terminates_fallthrough_blocks():
+    method = Method("A", "m", is_static=True)
+    builder = IRBuilder(method)
+    builder.assign("x", Const(1))
+    builder.finish()
+    assert method.cfg.entry.terminator is not None
+    assert isinstance(method.cfg.entry.terminator, Return)
+
+
+def test_builder_parks_unreachable_code_in_new_block():
+    method = Method("A", "m", is_static=True)
+    builder = IRBuilder(method)
+    builder.ret()
+    builder.assign("x", Const(1))  # after a terminator
+    builder.finish()
+    assert len(method.cfg.blocks) == 2
+
+
+def test_builder_fresh_names_unique():
+    method = Method("A", "m", is_static=True)
+    builder = IRBuilder(method)
+    temps = {builder.fresh_temp() for _ in range(50)}
+    labels = {builder.fresh_label() for _ in range(50)}
+    assert len(temps) == 50 and len(labels) == 50
+
+
+def test_verify_method_flags_undefined_local():
+    module = Module("t")
+    cls = ClassDef("A")
+    module.add_class(cls)
+    method = Method("A", "m", is_static=True)
+    builder = IRBuilder(method)
+    builder.assign("x", Local("ghost"))
+    builder.finish()
+    cls.add_method(method)
+    problems = verify_method(method, module)
+    assert any("ghost" in p for p in problems)
+
+
+def test_verify_module_flags_unknown_superclass():
+    module = Module("t")
+    module.add_class(ClassDef("A", super_name="Phantom"))
+    problems = verify_module(module)
+    assert any("Phantom" in p for p in problems)
+    assert not verify_module(module, known_external={"Phantom"})
+
+
+def test_printer_includes_blocks_and_flags():
+    method = Method("A", "m", is_static=True, is_synchronized=True)
+    builder = IRBuilder(method)
+    builder.assign("x", Const(5))
+    builder.finish()
+    text = format_method(method)
+    assert "static synchronized" in text
+    assert "entry:" in text
+    assert "x = 5" in text

@@ -1,0 +1,136 @@
+"""Unit tests for the IR module container: hierarchy, sealing, lookups."""
+
+import pytest
+
+from repro.ir import (
+    ClassDef,
+    Field,
+    FieldRef,
+    INT,
+    IRBuilder,
+    Method,
+    Module,
+    New,
+    parse_type,
+)
+
+
+def build_hierarchy():
+    module = Module("t")
+    base = ClassDef("Base")
+    base.add_field(Field("shared", parse_type("Payload")))
+    module.add_class(base)
+    mid = ClassDef("Mid", super_name="Base", interfaces=["Runnable2"])
+    module.add_class(mid)
+    leaf = ClassDef("Leaf", super_name="Mid")
+    module.add_class(leaf)
+    iface = ClassDef("Runnable2", is_interface=True)
+    module.add_class(iface)
+    return module
+
+
+def test_superclasses_chain_order():
+    module = build_hierarchy()
+    assert module.superclasses("Leaf") == ["Mid", "Base"]
+    assert module.superclasses("Base") == []
+
+
+def test_supertypes_include_interfaces():
+    module = build_hierarchy()
+    assert module.supertypes("Leaf") == {"Mid", "Base", "Runnable2"}
+
+
+def test_subclasses_transitive():
+    module = build_hierarchy()
+    assert module.subclasses("Base") == {"Mid", "Leaf"}
+    assert module.subclasses("Runnable2") == {"Mid", "Leaf"}
+
+
+def test_is_subtype_reflexive_and_transitive():
+    module = build_hierarchy()
+    assert module.is_subtype("Leaf", "Leaf")
+    assert module.is_subtype("Leaf", "Base")
+    assert not module.is_subtype("Base", "Leaf")
+
+
+def test_resolve_field_finds_declaring_class():
+    module = build_hierarchy()
+    ref = module.resolve_field("Leaf", "shared")
+    assert ref == FieldRef("Base", "shared")
+    assert module.resolve_field("Leaf", "ghost") is None
+
+
+def test_resolve_method_nearest_override():
+    module = build_hierarchy()
+    base_m = Method("Base", "work")
+    IRBuilder(base_m).finish()
+    module.classes["Base"].add_method(base_m)
+    mid_m = Method("Mid", "work")
+    IRBuilder(mid_m).finish()
+    module.classes["Mid"].add_method(mid_m)
+    resolved = module.resolve_method("Leaf", "work")
+    assert resolved is mid_m
+    assert module.resolve_method("Base", "work") is base_m
+
+
+def test_supertype_cycle_terminates():
+    module = Module("t")
+    module.add_class(ClassDef("A", super_name="B"))
+    module.add_class(ClassDef("B", super_name="A"))
+    assert "B" in module.supertypes("A")
+    assert module.superclasses("A") == ["B"]  # stops at the cycle
+
+
+def test_seal_assigns_unique_uids_and_sites():
+    module = Module("t")
+    cls = ClassDef("A")
+    module.add_class(cls)
+    method = Method("A", "m", is_static=True)
+    builder = IRBuilder(method)
+    builder.new("A")
+    builder.new("A")
+    builder.finish()
+    cls.add_method(method)
+    module.seal()
+
+    uids = [i.uid for i in module.instructions()]
+    assert len(set(uids)) == len(uids)
+    news = [i for i in module.instructions() if isinstance(i, New)]
+    assert [n.site for n in news] == ["A.m#0", "A.m#1"]
+    for instr in module.instructions():
+        assert module.instruction_at(instr.uid) is instr
+        assert module.method_of(instr.uid) is method
+
+
+def test_sealed_module_rejects_new_classes():
+    module = Module("t")
+    module.add_class(ClassDef("A"))
+    module.seal()
+    with pytest.raises(RuntimeError):
+        module.add_class(ClassDef("B"))
+
+
+def test_duplicate_class_rejected():
+    module = Module("t")
+    module.add_class(ClassDef("A"))
+    with pytest.raises(ValueError):
+        module.add_class(ClassDef("A"))
+
+
+def test_duplicate_field_and_method_rejected():
+    cls = ClassDef("A")
+    cls.add_field(Field("x", INT))
+    with pytest.raises(ValueError):
+        cls.add_field(Field("x", INT))
+    method = Method("A", "m")
+    cls.add_method(method)
+    with pytest.raises(ValueError):
+        cls.add_method(Method("A", "m"))
+
+
+def test_caches_invalidate_on_add_class():
+    module = Module("t")
+    module.add_class(ClassDef("Base"))
+    assert module.subclasses("Base") == set()
+    module.add_class(ClassDef("Child", super_name="Base"))
+    assert module.subclasses("Base") == {"Child"}

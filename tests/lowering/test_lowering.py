@@ -1,0 +1,322 @@
+"""Lowering tests: AST -> IR translation."""
+
+import pytest
+
+from repro.ir import (
+    Assign,
+    BinaryOp,
+    Const,
+    GetField,
+    Goto,
+    If,
+    Invoke,
+    Local,
+    MonitorEnter,
+    MonitorExit,
+    New,
+    PutField,
+    PutStatic,
+    Return,
+)
+from repro.lang.errors import LoweringError
+from repro.lowering import compile_app
+
+
+def instrs(module, class_name, method_name, kind=None):
+    method = module.lookup_method(class_name, method_name)
+    assert method is not None, f"{class_name}.{method_name} not lowered"
+    result = list(method.instructions())
+    if kind is not None:
+        result = [i for i in result if isinstance(i, kind)]
+    return result
+
+
+def test_simple_class_compiles(compile_source):
+    module = compile_source("class A { int x; void m() { x = 1; } }")
+    assert module.sealed
+    puts = instrs(module, "A", "m", PutField)
+    assert len(puts) == 1
+    assert puts[0].fieldref.field_name == "x"
+
+
+def test_field_use_and_free_vocabulary(compile_source):
+    module = compile_source(
+        """
+        class Holder { Cursor cursor;
+          void free() { cursor = null; }
+          void use() { cursor.close(); }
+        }
+        """
+    )
+    frees = [p for p in instrs(module, "Holder", "free", PutField) if p.is_free()]
+    assert len(frees) == 1
+    gets = instrs(module, "Holder", "use", GetField)
+    assert gets[0].fieldref.field_name == "cursor"
+
+
+def test_implicit_this_field_access(compile_source):
+    module = compile_source(
+        "class A { int x; int m() { return x + this.x; } }"
+    )
+    gets = instrs(module, "A", "m", GetField)
+    assert len(gets) == 2
+    assert all(g.base == Local("this") for g in gets)
+
+
+def test_local_shadows_field(compile_source):
+    module = compile_source(
+        "class A { int x; void m() { int x = 1; x = 2; } }"
+    )
+    assert instrs(module, "A", "m", PutField) == []
+    assigns = [a for a in instrs(module, "A", "m", Assign) if a.target == "x"]
+    assert len(assigns) == 2
+
+
+def test_inherited_field_resolves_to_declaring_class(compile_source):
+    module = compile_source(
+        """
+        class Base { int counter; }
+        class Derived extends Base { void m() { counter = 5; } }
+        """
+    )
+    puts = instrs(module, "Derived", "m", PutField)
+    assert puts[0].fieldref.class_name == "Base"
+
+
+def test_static_field_access(compile_source):
+    module = compile_source(
+        "class A { static int total; void m() { A.total = 1; total = 2; } }"
+    )
+    puts = instrs(module, "A", "m", PutStatic)
+    assert len(puts) == 2
+
+
+def test_constructor_call_and_field_init(compile_source):
+    module = compile_source(
+        """
+        class Box { int v; Box(int v0) { v = v0; } }
+        class A { void m() { Box b = new Box(7); } }
+        """
+    )
+    news = instrs(module, "A", "m", New)
+    assert news[0].class_name == "Box"
+    inits = [i for i in instrs(module, "A", "m", Invoke)
+             if i.methodref.method_name == "<init>"]
+    assert len(inits) == 1
+
+
+def test_field_initializer_goes_into_synthesized_ctor(compile_source):
+    module = compile_source("class A { int x = 42; }")
+    ctor = module.lookup_method("A", "<init>")
+    assert ctor is not None
+    puts = [i for i in ctor.instructions() if isinstance(i, PutField)]
+    assert puts[0].fieldref.field_name == "x"
+
+
+def test_static_initializer_goes_into_clinit(compile_source):
+    module = compile_source('class A { static String tag = "A"; }')
+    clinit = module.lookup_method("A", "<clinit>")
+    assert clinit is not None
+
+
+def test_if_produces_branch(compile_source):
+    module = compile_source(
+        "class A { int m(int n) { if (n > 0) { return 1; } return 0; } }"
+    )
+    branches = instrs(module, "A", "m", If)
+    assert len(branches) == 1
+
+
+def test_while_produces_loop_cfg(compile_source):
+    module = compile_source(
+        "class A { void m(int n) { while (n > 0) { n = n - 1; } } }"
+    )
+    method = module.lookup_method("A", "m")
+    labels = {b.label for b in method.cfg.block_order()}
+    # loop head must have two predecessors: entry and body
+    head = [lbl for lbl in labels if lbl.startswith("loop")][0]
+    assert len(method.cfg.predecessors(head)) == 2
+
+
+def test_short_circuit_and_lowered_to_cfg(compile_source):
+    module = compile_source(
+        "class A { boolean m(boolean a, boolean b) { return a && b; } }"
+    )
+    branches = instrs(module, "A", "m", If)
+    assert len(branches) == 1
+    # no BinaryOp('&&') remains
+    assert all(b.op != "&&" for b in instrs(module, "A", "m", BinaryOp))
+
+
+def test_synchronized_block_emits_monitors(compile_source):
+    module = compile_source(
+        "class A { Object lock; void m() { synchronized (lock) { int x = 1; } } }"
+    )
+    assert len(instrs(module, "A", "m", MonitorEnter)) == 1
+    assert len(instrs(module, "A", "m", MonitorExit)) == 1
+
+
+def test_synchronized_method_emits_monitors(compile_source):
+    module = compile_source("class A { synchronized void m() { } }")
+    assert len(instrs(module, "A", "m", MonitorEnter)) == 1
+    assert len(instrs(module, "A", "m", MonitorExit)) == 1
+
+
+def test_return_inside_sync_block_releases_lock(compile_source):
+    module = compile_source(
+        """
+        class A { Object lock;
+          int m() { synchronized (lock) { return 1; } }
+        }
+        """
+    )
+    method = module.lookup_method("A", "m")
+    for block in method.cfg.block_order():
+        for i, instr in enumerate(block.instructions):
+            if isinstance(instr, Return) and instr.value is not None:
+                assert isinstance(block.instructions[i - 1], MonitorExit)
+
+
+def test_anonymous_runnable_creates_synthetic_class(compile_source):
+    module = compile_source(
+        """
+        class A extends Activity {
+          Handler handler;
+          void onCreate(Bundle b) {
+            handler.post(new Runnable() { public void run() { finish(); } });
+          }
+        }
+        """
+    )
+    anon = module.lookup_class("A$1")
+    assert anon is not None
+    assert anon.interfaces == ["Runnable"]
+    assert "$outer" in anon.fields
+    run = module.lookup_method("A$1", "run")
+    # finish() resolves through $outer to the Activity
+    calls = [i for i in run.instructions() if isinstance(i, Invoke)]
+    assert any(c.methodref.method_name == "finish" for c in calls)
+
+
+def test_anonymous_class_outer_field_access(compile_source):
+    module = compile_source(
+        """
+        class A extends Activity {
+          Cursor cursor;
+          Handler handler;
+          void onPause() {
+            handler.post(new Runnable() { public void run() { cursor = null; } });
+          }
+        }
+        """
+    )
+    run = module.lookup_method("A$1", "run")
+    gets = [i for i in run.instructions() if isinstance(i, GetField)]
+    assert any(g.fieldref.field_name == "$outer" for g in gets)
+    puts = [i for i in run.instructions() if isinstance(i, PutField)]
+    assert any(p.fieldref.field_name == "cursor" and p.is_free() for p in puts)
+
+
+def test_anonymous_class_captures_final_local(compile_source):
+    module = compile_source(
+        """
+        class A extends Activity {
+          Handler handler;
+          void onCreate(Bundle b) {
+            final String host = "example.com";
+            handler.post(new Runnable() {
+              public void run() { Log.d("tag", host); }
+            });
+          }
+        }
+        """
+    )
+    anon = module.lookup_class("A$1")
+    assert "$cap_host" in anon.fields
+    # the capture is wired at the allocation site
+    creator = module.lookup_method("A", "onCreate")
+    puts = [i for i in creator.instructions() if isinstance(i, PutField)]
+    assert any(p.fieldref.field_name == "$cap_host" for p in puts)
+
+
+def test_nested_anonymous_classes(compile_source):
+    module = compile_source(
+        """
+        class A extends Activity {
+          Handler handler;
+          void onCreate(Bundle b) {
+            handler.post(new Runnable() {
+              public void run() {
+                handler.post(new Runnable() { public void run() { } });
+              }
+            });
+          }
+        }
+        """
+    )
+    assert module.lookup_class("A$1") is not None
+    assert module.lookup_class("A$1$1") is not None
+
+
+def test_framework_super_call(compile_source):
+    module = compile_source(
+        """
+        class MainActivity extends Activity {
+          void onCreate(Bundle b) { super.onCreate(b); }
+        }
+        """
+    )
+    invokes = instrs(module, "MainActivity", "onCreate", Invoke)
+    assert invokes[0].kind == "special"
+    assert invokes[0].methodref.class_name == "Activity"
+
+
+def test_unresolved_identifier_raises(compile_source):
+    with pytest.raises(LoweringError):
+        compile_source("class A { void m() { ghost = 1; } }")
+
+
+def test_unknown_method_raises(compile_source):
+    with pytest.raises(LoweringError):
+        compile_source("class A { void m() { this.nope(); } }")
+
+
+def test_wrong_arity_raises(compile_source):
+    with pytest.raises(LoweringError):
+        compile_source(
+            "class A { void f(int x) { } void m() { f(); } }"
+        )
+
+
+def test_this_in_static_method_raises(compile_source):
+    with pytest.raises(LoweringError):
+        compile_source("class A { static void m() { this.hashCode(); } }")
+
+
+def test_instantiating_interface_raises(compile_source):
+    with pytest.raises(LoweringError):
+        compile_source("class A { void m() { Runnable r = new Runnable(); } }")
+
+
+def test_allocation_sites_are_named_after_seal(compile_source):
+    module = compile_source(
+        "class A { void m() { Object a = new Object(); Object b = new Object(); } }"
+    )
+    news = instrs(module, "A", "m", New)
+    assert news[0].site == "A.m#0"
+    assert news[1].site == "A.m#1"
+
+
+def test_uids_are_unique_and_dense(compile_source):
+    module = compile_source("class A { void m() { int x = 1; } void n() { } }")
+    uids = [i.uid for i in module.instructions()]
+    assert len(uids) == len(set(uids))
+    assert all(u >= 0 for u in uids)
+
+
+def test_static_method_call_on_class_name(compile_source):
+    module = compile_source(
+        'class A { void m() { Log.d("tag", "msg"); } }'
+    )
+    invokes = instrs(module, "A", "m", Invoke)
+    assert invokes[0].kind == "static"

@@ -1,0 +1,268 @@
+"""Interpreter/simulator unit tests: monitors, exceptions, intrinsics,
+watchpoints, scheduling details."""
+
+import pytest
+
+from repro.ir import FieldRef
+from repro.lowering import compile_app
+from repro.runtime import (
+    FifoScheduler,
+    RandomScheduler,
+    ScriptedScheduler,
+    Simulator,
+)
+from repro.threadify import threadify
+
+
+def build_sim(source):
+    program = threadify(compile_app(source, seal=False))
+    return Simulator(program.module, program.manifest), program
+
+
+def run_fifo(source, max_decisions=3000):
+    sim, _ = build_sim(source)
+    sim.run(FifoScheduler(), max_decisions=max_decisions)
+    return sim
+
+
+def static_value(sim, cls, field):
+    return sim.heap.get_static(FieldRef(cls, field))
+
+
+def test_arithmetic_division_by_zero_raises():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          void onCreate(Bundle b) {
+            int x = 10;
+            int y = 0;
+            int z = x / y;
+          }
+        }
+        """
+    )
+    assert any(e.name == "ArithmeticException" for e in sim.exceptions)
+
+
+def test_explicit_throw_recorded_with_location():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          void onCreate(Bundle b) {
+            throw new IllegalStateException("boom");
+          }
+        }
+        """
+    )
+    exc = sim.exceptions[0]
+    assert exc.name == "IllegalStateException"
+    assert exc.method_qname == "A.onCreate"
+
+
+def test_while_loop_computes_sum():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          static int total;
+          void onCreate(Bundle b) {
+            int i = 1;
+            while (i <= 10) {
+              A.total = A.total + i;
+              i = i + 1;
+            }
+          }
+        }
+        """
+    )
+    assert static_value(sim, "A", "total") == 55
+
+
+def test_string_concatenation_with_null():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          static String label;
+          void onCreate(Bundle b) {
+            String missing = null;
+            label = "value=" + missing;
+          }
+        }
+        """
+    )
+    assert static_value(sim, "A", "label") == "value=null"
+
+
+def test_monitor_blocks_second_thread():
+    # Thread W blocks on the activity's monitor while the main callback
+    # holds it; the simulator must not deadlock or interleave the region.
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          static String log = "";
+          void onCreate(Bundle b) {
+            new Thread(new W(this)).start();
+            synchronized (this) {
+              A.log = A.log + "[main";
+              A.log = A.log + " main]";
+            }
+          }
+        }
+        class W implements Runnable {
+          A owner;
+          W(A a) { owner = a; }
+          public void run() {
+            synchronized (owner) {
+              A.log = A.log + "[w w]";
+            }
+          }
+        }
+        """
+    )
+    log = static_value(sim, "A", "log")
+    assert "[main main]" in log and "[w w]" in log
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_monitor_mutual_exclusion_under_random_schedules(seed):
+    source = """
+    class A extends Activity {
+      static String log = "";
+      void onCreate(Bundle b) {
+        new Thread(new W(this)).start();
+        synchronized (this) {
+          A.log = A.log + "(";
+          A.log = A.log + ")";
+        }
+      }
+    }
+    class W implements Runnable {
+      A owner;
+      W(A a) { owner = a; }
+      public void run() {
+        synchronized (owner) {
+          A.log = A.log + "<";
+          A.log = A.log + ">";
+        }
+      }
+    }
+    """
+    sim, _ = build_sim(source)
+    sim.run(RandomScheduler(seed), max_decisions=3000)
+    log = static_value(sim, "A", "log") or ""
+    assert "(<" not in log and "<(" not in log, f"interleaved regions: {log}"
+
+
+def test_reentrant_monitor():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          static boolean done;
+          void onCreate(Bundle b) {
+            synchronized (this) {
+              synchronized (this) {
+                A.done = true;
+              }
+            }
+          }
+        }
+        """
+    )
+    assert static_value(sim, "A", "done") is True
+
+
+def test_callback_default_arguments():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          static boolean sawNullIntent;
+          void onActivityResult(int rq, int rs, Intent data) {
+            if (data == null) {
+              A.sawNullIntent = true;
+            }
+          }
+        }
+        """
+    )
+    assert static_value(sim, "A", "sawNullIntent") is True
+
+
+def test_watchpoints_record_hits():
+    sim, program = build_sim(
+        """
+        class A extends Activity {
+          static int x;
+          void onCreate(Bundle b) { A.x = 7; }
+        }
+        """
+    )
+    from repro.ir import PutStatic
+
+    method = program.module.lookup_method("A", "onCreate")
+    put = [i for i in method.instructions() if isinstance(i, PutStatic)][0]
+    sim.watchpoints = {put.uid}
+    sim.run(FifoScheduler())
+    assert put.uid in sim.hit_watchpoints
+
+
+def test_scripted_scheduler_follows_event_names():
+    sim, _ = build_sim(
+        """
+        class A extends Activity {
+          static String log = "";
+          void onCreate(Bundle b) { A.log = A.log + "C"; }
+          void onStart() { A.log = A.log + "S"; }
+          void onResume() { A.log = A.log + "R"; }
+          void onPause() { A.log = A.log + "P"; }
+        }
+        """
+    )
+    sim.run(ScriptedScheduler([
+        "A#onCreate", "A#onStart", "A#onResume", "A#onPause",
+        "A#onResume",
+    ]), max_decisions=200)
+    assert (static_value(sim, "A", "log") or "").startswith("CSRPR")
+
+
+def test_exceptions_do_not_stop_the_looper():
+    sim = run_fifo(
+        """
+        class F { void use() { } }
+        class A extends Activity {
+          F f;
+          static boolean laterRan;
+          void onCreate(Bundle b) { f.use(); }
+          void onStart() { A.laterRan = true; }
+        }
+        """
+    )
+    assert sim.npe_events
+    assert static_value(sim, "A", "laterRan") is True
+
+
+def test_getter_intrinsic_objects_are_fresh():
+    sim = run_fifo(
+        """
+        class A extends Activity {
+          static boolean distinct;
+          void onCreate(Bundle b) {
+            View a = findViewById(1);
+            View b2 = findViewById(2);
+            distinct = a != b2;
+          }
+        }
+        """
+    )
+    assert static_value(sim, "A", "distinct") is True
+
+
+def test_boot_runs_clinit_before_components():
+    sim = run_fifo(
+        """
+        class Config { static String name = "cfg"; }
+        class A extends Activity {
+          static String copied;
+          void onCreate(Bundle b) { copied = Config.name; }
+        }
+        """
+    )
+    assert static_value(sim, "A", "copied") == "cfg"

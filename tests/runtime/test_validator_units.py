@@ -1,0 +1,107 @@
+"""Validator unit tests: hint matching, targeted scheduling, results."""
+
+import pytest
+
+from repro.core import analyze_app
+from repro.runtime import Simulator, validate_warning, ValidationResult
+from repro.runtime.validator import TargetedScheduler
+
+
+def test_hint_matching_exact_component_events():
+    match = TargetedScheduler._matches_hint
+    assert match("A#onPause", "A.onPause")
+    assert match("A@17#onClick", "A.onClick")
+    assert not match("A#onPause", "A.onResume")
+    assert not match("AB#onPause", "A.onPause")
+    assert not match("A#onPause", "")
+    assert not match("A#onPause", "garbage-without-dot")
+
+
+def test_validation_result_truthiness():
+    assert ValidationResult(confirmed=True, schedules_tried=1)
+    assert not ValidationResult(confirmed=False, schedules_tried=9)
+
+
+# the Figure 4(d) back-button bug: onPause frees, onResume does NOT
+# restore, the next click crashes
+SAME_LOOPER_BUG = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  void onCreate(Bundle b) { f = new F(); }
+  void onClick(View v) { f.use(); }
+  void onPause() { f = null; }
+}
+"""
+
+
+def make_factory(source):
+    result = analyze_app(source)
+    program = result.program
+
+    def make_sim():
+        return Simulator(program.module, program.manifest)
+
+    return result, make_sim
+
+
+def test_validator_confirms_same_looper_order_bug():
+    result, make_sim = make_factory(SAME_LOOPER_BUG)
+    target = [w for w in result.remaining()
+              if w.fieldref.field_name == "f"]
+    assert target
+    verdict = validate_warning(make_sim, target[0], random_attempts=30,
+                               systematic_branches=10, max_decisions=600)
+    assert verdict.confirmed
+    assert verdict.trace, "a confirming run must carry its event trace"
+    assert "NullPointerException" in (verdict.exception or "")
+
+
+def test_validator_rejects_flag_guarded_free():
+    source = """
+    class F { void use() { } }
+    class A extends Activity {
+      F f;
+      boolean never;
+      void onCreate(Bundle b) { f = new F(); }
+      void onClick(View v) { f.use(); }
+      void onStop() {
+        if (never) { f = null; }
+      }
+    }
+    """
+    result, make_sim = make_factory(source)
+    target = [w for w in result.remaining()
+              if w.fieldref.field_name == "f"]
+    assert target, "statically the pair survives (path-insensitivity)"
+    verdict = validate_warning(make_sim, target[0], random_attempts=20,
+                               systematic_branches=10, max_decisions=600)
+    assert not verdict.confirmed
+
+
+def test_validator_matches_npe_to_the_right_field():
+    # two fields crash; validating the `safe` warning must not be satisfied
+    # by the `other` field's NPE
+    source = """
+    class F { void use() { } }
+    class A extends Activity {
+      F other;
+      F safe;
+      boolean never;
+      void onCreate(Bundle b) { safe = new F(); }
+      void onResume() { other.use(); }
+      void onClick(View v) { safe.use(); }
+      void onStop() {
+        if (never) { safe = null; }
+      }
+    }
+    """
+    result, make_sim = make_factory(source)
+    safe_warnings = [w for w in result.remaining()
+                     if w.fieldref.field_name == "safe"]
+    assert safe_warnings
+    verdict = validate_warning(make_sim, safe_warnings[0],
+                               random_attempts=20, systematic_branches=8,
+                               max_decisions=600)
+    assert not verdict.confirmed, \
+        "the ever-present `other` NPE must not confirm the `safe` warning"

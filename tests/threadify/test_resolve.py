@@ -1,0 +1,139 @@
+"""Unit tests for the receiver-class resolver used by threadification."""
+
+import pytest
+
+from repro.analysis import instantiated_classes
+from repro.ir import Invoke, Local
+from repro.lowering import compile_app
+from repro.threadify.resolve import (
+    concrete_implementers,
+    resolve_local_classes,
+    resolve_thread_tasks,
+)
+
+
+def setup(source, class_name, method_name):
+    module = compile_app(source)
+    method = module.lookup_method(class_name, method_name)
+    return module, method, instantiated_classes(module)
+
+
+def test_resolves_direct_allocation():
+    module, method, rta = setup(
+        """
+        class W implements Runnable { public void run() { } }
+        class A {
+          void m() {
+            Runnable r = new W();
+            r.run();
+          }
+        }
+        """,
+        "A", "m",
+    )
+    assert resolve_local_classes(module, method, Local("r"), rta) == {"W"}
+
+
+def test_resolves_through_copies():
+    module, method, rta = setup(
+        """
+        class W implements Runnable { public void run() { } }
+        class A {
+          void m() {
+            Runnable a = new W();
+            Runnable b = a;
+            Runnable c = b;
+            c.run();
+          }
+        }
+        """,
+        "A", "m",
+    )
+    assert resolve_local_classes(module, method, Local("c"), rta) == {"W"}
+
+
+def test_field_load_widens_to_instantiated_subtypes():
+    module, method, rta = setup(
+        """
+        class W1 implements Runnable { public void run() { } }
+        class W2 implements Runnable { public void run() { } }
+        class W3 implements Runnable { public void run() { } }
+        class A {
+          Runnable task;
+          void setup() { task = new W1(); Runnable other = new W2(); }
+          void m() {
+            Runnable r = task;
+            r.run();
+          }
+        }
+        """,
+        "A", "m",
+    )
+    resolved = resolve_local_classes(module, method, Local("r"), rta)
+    assert resolved == {"W1", "W2"}, "W3 is never instantiated"
+
+
+def test_this_resolves_to_concrete_class():
+    module, method, rta = setup(
+        """
+        class A {
+          void m() {
+            A self = this;
+          }
+        }
+        """,
+        "A", "m",
+    )
+    # A itself is never `new`ed: fall back to the class itself
+    assert resolve_local_classes(module, method, Local("this"), rta) == {"A"}
+
+
+def test_parameter_falls_back_to_declared_type():
+    module, method, rta = setup(
+        """
+        class W implements Runnable { public void run() { } }
+        class A {
+          void seed() { Runnable r = new W(); }
+          void m(Runnable job) {
+            job.run();
+          }
+        }
+        """,
+        "A", "m",
+    )
+    assert resolve_local_classes(module, method, Local("job"), rta) == {"W"}
+
+
+def test_concrete_implementers_excludes_interfaces_and_framework():
+    module, _method, rta = setup(
+        """
+        class W implements Runnable { public void run() { } }
+        class A { void m() { Runnable r = new W(); } }
+        """,
+        "A", "m",
+    )
+    impls = concrete_implementers(module, "Runnable", rta)
+    assert impls == {"W"}  # Thread (framework) and the interface excluded
+
+
+def test_thread_task_resolution_from_ctor():
+    module, method, rta = setup(
+        """
+        class W implements Runnable { public void run() { } }
+        class A {
+          void m() {
+            Thread t = new Thread(new W());
+            t.start();
+          }
+        }
+        """,
+        "A", "m",
+    )
+    assert resolve_thread_tasks(module, method, Local("t"), rta) == {"W"}
+
+
+def test_unresolvable_local_is_empty():
+    module, method, rta = setup(
+        "class A { void m() { Object o = null; } }", "A", "m"
+    )
+    assert resolve_local_classes(module, method, Local("o"), rta) == set()

@@ -1,0 +1,295 @@
+"""Threadification tests: the Figure 3 tour plus edge cases."""
+
+import pytest
+
+from repro.android.callbacks import CallbackCategory
+from repro.lowering import compile_app
+from repro.threadify import threadify, ThreadKind
+
+# An app exercising all five callback families of paper Figure 3:
+# (a) lifecycle ECs, (b) UI/system ECs, (c) Handler PCs,
+# (d) Service/Receiver PCs, (e) AsyncTask.
+FIG3_APP = """
+class MainActivity extends Activity implements LocationListener {
+  Handler handler;
+  View button;
+  LocationManager locationManager;
+  AlertReceiver alertReceiver;
+
+  void onCreate(Bundle b) {
+    super.onCreate(b);
+    handler = new MyHandler();
+    button = findViewById(1);
+    button.setOnClickListener(new ClickHandler());
+    locationManager.requestLocationUpdates("gps", 0, 0, this);
+  }
+
+  void onStart() {
+    bindService(new Intent("svc"), new Conn(), 0);
+  }
+
+  void onResume() {
+    alertReceiver = new AlertReceiver();
+    registerReceiver(alertReceiver, new IntentFilter("alert"));
+  }
+
+  void onLocationChanged(Location location) {
+    LoadTask task = new LoadTask();
+    task.execute();
+  }
+}
+
+class ClickHandler implements OnClickListener {
+  public void onClick(View v) {
+    MyHandler h = new MyHandler();
+    h.sendEmptyMessage(1);
+    h.post(new Job());
+  }
+}
+
+class Job implements Runnable {
+  public void run() { Log.d("job", "ran"); }
+}
+
+class MyHandler extends Handler {
+  public void handleMessage(Message msg) { Log.d("h", "msg"); }
+}
+
+class Conn implements ServiceConnection {
+  public void onServiceConnected(ComponentName name, IBinder service) { }
+  public void onServiceDisconnected(ComponentName name) { }
+}
+
+class AlertReceiver extends BroadcastReceiver {
+  public void onReceive(Context context, Intent intent) { }
+}
+
+class LoadTask extends AsyncTask {
+  void onPreExecute() { }
+  void doInBackground() { publishProgress(); }
+  void onProgressUpdate() { }
+  void onPostExecute() { }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    module = compile_app(FIG3_APP, seal=False)
+    return threadify(module)
+
+
+def find(program, receiver, method):
+    matches = [
+        n for n in program.forest
+        if n.receiver_class == receiver and n.method_name == method
+    ]
+    assert matches, f"no node for {receiver}.{method}"
+    return matches[0]
+
+
+def test_lifecycle_callbacks_are_entry_children_of_dummy_main(program):
+    node = find(program, "MainActivity", "onCreate")
+    assert node.kind is ThreadKind.ENTRY_CALLBACK
+    assert node.parent is program.forest.dummy_main
+    assert node.category is CallbackCategory.LIFECYCLE
+
+
+def test_registered_click_listener_is_entry_callback(program):
+    node = find(program, "ClickHandler", "onClick")
+    assert node.kind is ThreadKind.ENTRY_CALLBACK
+    assert node.parent is program.forest.dummy_main
+    assert node.category is CallbackCategory.UI
+
+
+def test_location_listener_on_activity_itself(program):
+    node = find(program, "MainActivity", "onLocationChanged")
+    # registered via requestLocationUpdates(this): an EC.
+    assert node.kind is ThreadKind.ENTRY_CALLBACK
+
+
+def test_handler_message_is_posted_callback_of_onclick(program):
+    node = find(program, "MyHandler", "handleMessage")
+    assert node.kind is ThreadKind.POSTED_CALLBACK
+    assert node.category is CallbackCategory.HANDLER_MESSAGE
+    assert node.parent.entry == ("ClickHandler", "onClick")
+
+
+def test_posted_runnable_is_child_of_onclick(program):
+    node = find(program, "Job", "run")
+    assert node.kind is ThreadKind.POSTED_CALLBACK
+    assert node.category is CallbackCategory.POSTED_RUNNABLE
+    assert node.parent.entry == ("ClickHandler", "onClick")
+
+
+def test_service_connection_callbacks_are_children_of_binder(program):
+    connected = find(program, "Conn", "onServiceConnected")
+    disconnected = find(program, "Conn", "onServiceDisconnected")
+    assert connected.parent.entry == ("MainActivity", "onStart")
+    assert disconnected.parent.entry == ("MainActivity", "onStart")
+    assert connected.category is CallbackCategory.SERVICE_CONN
+    assert connected.group_key == disconnected.group_key
+
+
+def test_receiver_is_posted_callback_of_onresume(program):
+    node = find(program, "AlertReceiver", "onReceive")
+    assert node.kind is ThreadKind.POSTED_CALLBACK
+    assert node.parent.entry == ("MainActivity", "onResume")
+
+
+def test_dynamically_registered_receiver_is_not_a_component_ec(program):
+    receivers = [
+        n for n in program.forest
+        if n.receiver_class == "AlertReceiver" and n.method_name == "onReceive"
+    ]
+    assert len(receivers) == 1
+    assert receivers[0].kind is ThreadKind.POSTED_CALLBACK
+
+
+def test_asynctask_background_is_thread_child_of_trigger(program):
+    bg = find(program, "LoadTask", "doInBackground")
+    assert bg.kind is ThreadKind.ASYNC_BACKGROUND
+    assert bg.looper is None
+    assert bg.parent.entry == ("MainActivity", "onLocationChanged")
+
+
+def test_asynctask_looper_callbacks_are_children_of_background(program):
+    bg = find(program, "LoadTask", "doInBackground")
+    for name in ("onPreExecute", "onProgressUpdate", "onPostExecute"):
+        node = find(program, "LoadTask", name)
+        assert node.kind is ThreadKind.POSTED_CALLBACK
+        assert node.parent is bg
+        assert node.group_key == bg.group_key
+
+
+def test_lineage_describes_path_from_main(program):
+    node = find(program, "LoadTask", "onPostExecute")
+    desc = node.describe()
+    assert desc.startswith("main -> MainActivity.onLocationChanged")
+    assert desc.endswith("LoadTask.onPostExecute")
+
+
+def test_counts_shape(program):
+    counts = program.forest.counts()
+    assert counts["EC"] >= 5   # 3 lifecycle + onLocationChanged + onClick
+    assert counts["PC"] >= 7   # run, handleMessage, conn x2, receive, async x3
+    assert counts["T"] >= 2    # dummy main + doInBackground
+
+
+def test_regions_contain_entry_method(program):
+    node = find(program, "ClickHandler", "onClick")
+    region = program.regions[node.node_id]
+    assert "ClickHandler.onClick" in region
+
+
+def test_dummy_main_exists_and_module_sealed(program):
+    assert program.module.sealed
+    main = program.module.lookup_method("DummyMain", "main")
+    assert main is not None
+    assert "$Registry" in program.module.classes
+
+
+def test_thread_spawn_with_inline_runnable():
+    module = compile_app(
+        """
+        class A extends Activity {
+          void onCreate(Bundle b) {
+            new Thread(new Worker()).start();
+          }
+        }
+        class Worker implements Runnable {
+          public void run() { }
+        }
+        """,
+        seal=False,
+    )
+    program = threadify(module)
+    node = find(program, "Worker", "run")
+    assert node.kind is ThreadKind.NATIVE_THREAD
+    assert node.parent.entry == ("A", "onCreate")
+
+
+def test_thread_subclass_spawn():
+    module = compile_app(
+        """
+        class A extends Activity {
+          MyThread worker;
+          void onResume() { worker = new MyThread(); worker.start(); }
+        }
+        class MyThread extends Thread {
+          public void run() { }
+        }
+        """,
+        seal=False,
+    )
+    program = threadify(module)
+    node = find(program, "MyThread", "run")
+    assert node.kind is ThreadKind.NATIVE_THREAD
+    assert node.parent.entry == ("A", "onResume")
+
+
+def test_self_reposting_runnable_terminates():
+    module = compile_app(
+        """
+        class A extends Activity {
+          Handler handler;
+          void onCreate(Bundle b) {
+            handler = new Handler();
+            handler.post(new Ticker());
+          }
+        }
+        class Ticker implements Runnable {
+          public void run() {
+            Handler h = new Handler();
+            h.post(this);
+          }
+        }
+        """,
+        seal=False,
+    )
+    program = threadify(module)
+    ticks = [n for n in program.forest if n.receiver_class == "Ticker"]
+    # finite unrolling: the fixpoint must not loop forever
+    assert 1 <= len(ticks) <= 3
+
+
+def test_anonymous_runnable_posted_from_callback():
+    module = compile_app(
+        """
+        class A extends Activity {
+          Handler handler;
+          Cursor cursor;
+          void onClick(View v) {
+            handler.post(new Runnable() {
+              public void run() { cursor.close(); }
+            });
+          }
+        }
+        """,
+        seal=False,
+    )
+    program = threadify(module)
+    node = find(program, "A$1", "run")
+    assert node.kind is ThreadKind.POSTED_CALLBACK
+    assert node.parent.entry == ("A", "onClick")
+    # anonymous class's owning component resolves through the $ name
+    assert node.component == "A"
+
+
+def test_rt_nt_classification():
+    module = compile_app(
+        """
+        class A extends Activity {
+          void onCreate(Bundle b) { new Thread(new W1()).start(); }
+          void onPause() { }
+        }
+        class W1 implements Runnable { public void run() { } }
+        """,
+        seal=False,
+    )
+    program = threadify(module)
+    on_create = find(program, "A", "onCreate")
+    on_pause = find(program, "A", "onPause")
+    worker = find(program, "W1", "run")
+    assert program.forest.is_reachable_thread(on_create, worker)
+    assert not program.forest.is_reachable_thread(on_pause, worker)
