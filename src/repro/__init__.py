@@ -14,4 +14,4 @@ Public entry points:
 * :mod:`repro.harness` -- drivers that regenerate every paper table/figure
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

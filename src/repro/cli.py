@@ -19,8 +19,60 @@ from pathlib import Path
 from typing import List
 
 
+class CliError(Exception):
+    """A user-facing error: printed as one line, exit code 2."""
+
+
 def _read_sources(paths: List[str]):
-    return [(p, Path(p).read_text()) for p in paths]
+    sources = []
+    for p in paths:
+        try:
+            sources.append((p, Path(p).read_text()))
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot read {p}: {reason}") from exc
+    return sources
+
+
+def _make_runner(args: argparse.Namespace):
+    """Build the corpus runner from the shared --jobs/--cache flags."""
+    from .runner import CorpusRunner, default_cache_dir, ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir \
+            else default_cache_dir()
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot use cache directory {cache_dir}: {reason}"
+            ) from exc
+        cache = ResultCache(cache_dir)
+    return CorpusRunner(jobs=args.jobs, cache=cache)
+
+
+def _corpus_apps(args: argparse.Namespace):
+    """Resolve an optional --apps subset against the registry."""
+    from .corpus import all_apps, app
+
+    if not getattr(args, "apps", None):
+        return None
+    try:
+        return [app(name) for name in args.apps]
+    except KeyError as exc:
+        known = ", ".join(sorted(a.name for a in all_apps()))
+        raise CliError(
+            f"unknown corpus app {exc.args[0]!r} (known: {known})"
+        ) from exc
+
+
+def _report_stats(runner) -> None:
+    """Fan-out/cache statistics go to stderr so stdout stays byte-stable
+    across --jobs settings."""
+    if runner.last_stats is not None:
+        print(f"[runner] {runner.last_stats.describe()}", file=sys.stderr)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -89,7 +141,11 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         total_true_harmful,
     )
 
-    rows = run_table1(validate=args.validate)
+    runner = _make_runner(args)
+    rows = run_table1(
+        validate=args.validate, apps=_corpus_apps(args), runner=runner
+    )
+    _report_stats(runner)
     print(render_table1(rows))
     if args.validate:
         print(f"\ntrue harmful UAFs: {total_true_harmful(rows)}")
@@ -122,28 +178,40 @@ def cmd_nosleep(args: argparse.Namespace) -> int:
 def cmd_figure5(args: argparse.Namespace) -> int:
     from .harness import render_figure5, run_figure5
 
-    print(render_figure5(run_figure5()))
+    runner = _make_runner(args)
+    data = run_figure5(runner=runner)
+    _report_stats(runner)
+    print(render_figure5(data))
     return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
     from .harness import render_table2, run_table2
 
-    print(render_table2(run_table2()))
+    runner = _make_runner(args)
+    outcomes = run_table2(runner=runner)
+    _report_stats(runner)
+    print(render_table2(outcomes))
     return 0
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
     from .harness import render_table3, run_table3
 
-    print(render_table3(run_table3()))
+    runner = _make_runner(args)
+    rows = run_table3(runner=runner)
+    _report_stats(runner)
+    print(render_table3(rows, runner=runner))
     return 0
 
 
 def cmd_timing(args: argparse.Namespace) -> int:
     from .harness import render_timing, run_timing
 
-    print(render_timing(run_timing()))
+    runner = _make_runner(args)
+    data = run_timing(runner=runner)
+    _report_stats(runner)
+    print(render_timing(data))
     return 0
 
 
@@ -178,10 +246,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+")
     p.set_defaults(fn=cmd_nosleep)
 
+    def _add_runner_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="analyze N apps in parallel worker processes "
+                            "(default 1 = serial)")
+        p.add_argument("--cache-dir", metavar="PATH",
+                       help="result cache directory (default: "
+                            "$NADROID_CACHE_DIR or ~/.cache/nadroid)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache for this run")
+
     p = sub.add_parser("corpus", help="Table 1 over the 27-app corpus")
     p.add_argument("--validate", action="store_true")
     p.add_argument("--csv", metavar="PATH",
                    help="also write a ResultAnalysis.csv-style file")
+    p.add_argument("--apps", nargs="+", metavar="NAME",
+                   help="restrict to these corpus apps (default: all 27)")
+    _add_runner_flags(p)
     p.set_defaults(fn=cmd_corpus)
 
     for name, fn, help_text in (
@@ -191,13 +272,18 @@ def build_parser() -> argparse.ArgumentParser:
         ("timing", cmd_timing, "stage time breakdown (section 8.8)"),
     ):
         p = sub.add_parser(name, help=help_text)
+        _add_runner_flags(p)
         p.set_defaults(fn=fn)
     return parser
 
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"nadroid: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

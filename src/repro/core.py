@@ -110,7 +110,8 @@ def analyze_module(
 
     start = time.perf_counter()
     ctx = FilterContext(program, pointsto, lockset, config.filters)
-    pipeline = FilterPipeline(ctx, SOUND_FILTERS, UNSOUND_FILTERS)
+    unsound = () if config.filters.sound_only else UNSOUND_FILTERS
+    pipeline = FilterPipeline(ctx, SOUND_FILTERS, unsound)
     report = pipeline.apply(
         warnings, with_individual_stats=config.collect_individual_filter_stats
     )

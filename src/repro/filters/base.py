@@ -23,9 +23,15 @@ class FilterOptions:
     False, the IG and IA filters lose their atomicity premise for
     callback-callback pairs and fall back to requiring a common lock
     (downgrading them to unsound, as the paper notes).
+
+    ``sound_only`` restricts the pipeline to the section-6.1 sound filters
+    (MHB, IG, IA); the unsound filters of section 6.2 are skipped, so no
+    occurrence is ever downgraded.  This is the paper's
+    no-false-negatives configuration.
     """
 
     assume_single_looper: bool = True
+    sound_only: bool = False
 
 
 class FilterContext:

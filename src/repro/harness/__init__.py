@@ -6,7 +6,12 @@ from .export import (
     save_result_analysis,
     write_result_analysis,
 )
-from .figure5 import Figure5Data, render_figure5, run_figure5
+from .figure5 import (
+    figure5_app_data,
+    Figure5Data,
+    render_figure5,
+    run_figure5,
+)
 from .render import percent, render_table
 from .table1 import (
     analyze_corpus_app,
@@ -22,24 +27,26 @@ from .table2 import (
     render_table2,
     run_table2,
     summarize_table2,
+    table2_app_data,
 )
 from .table3 import (
     nadroid_only_true_uafs,
     render_table3,
     run_table3,
     summarize_table3,
+    table3_app_data,
     Table3Row,
 )
 from .timing import render_timing, run_timing, TimingData
 
 __all__ = [
-    "analyze_corpus_app", "build_row", "CSV_COLUMNS", "Figure5Data",
-    "fp_totals", "result_analysis_csv", "save_result_analysis",
-    "write_result_analysis",
+    "analyze_corpus_app", "build_row", "CSV_COLUMNS", "figure5_app_data",
+    "Figure5Data", "fp_totals", "result_analysis_csv",
+    "save_result_analysis", "write_result_analysis",
     "InjectionOutcome", "nadroid_only_true_uafs", "percent",
     "render_figure5", "render_table", "render_table1", "render_table2",
     "render_table3", "render_timing", "run_figure5", "run_table1",
     "run_table2", "run_table3", "run_timing", "summarize_table2",
-    "summarize_table3", "Table1Row", "Table3Row", "TimingData",
-    "total_true_harmful",
+    "summarize_table3", "table2_app_data", "table3_app_data", "Table1Row",
+    "Table3Row", "TimingData", "total_true_harmful",
 ]

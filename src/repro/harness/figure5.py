@@ -13,9 +13,13 @@ applied individually over the 20 test applications):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
+from ..core import AnalysisConfig
 from ..corpus import AppSpec, test_apps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner import CorpusRunner
 from ..filters.base import FilterContext
 from ..filters.pipeline import FilterPipeline
 from ..filters.sound import SOUND_FILTERS
@@ -57,30 +61,52 @@ class Figure5Data:
         return self.mayhb_combined / self.after_sound if self.after_sound else 0.0
 
 
-def run_figure5(apps: Optional[List[AppSpec]] = None) -> Figure5Data:
+def figure5_app_data(spec: AppSpec,
+                     config: Optional[AnalysisConfig] = None) -> Dict:
+    """One app's filter-effectiveness contribution (serializable)."""
+    result = analyze_corpus_app(spec, config)
+    report = result.report
+    # combined mayHB bar (RHB + CHB + PHB together)
+    ctx = FilterContext(result.program, result.pointsto, result.lockset)
+    pipeline = FilterPipeline(ctx)
+    mayhb = [f for f in UNSOUND_FILTERS if f.name in MAYHB_FILTER_NAMES]
+    survivors = [w for w in result.warnings if w.survives_sound]
+    return {
+        "potential": report.potential,
+        "after_sound": report.after_sound,
+        "after_unsound": report.after_unsound,
+        "sound_individual": dict(report.sound_individual),
+        "unsound_individual": dict(report.unsound_individual),
+        "mayhb_combined": pipeline.count_pruned_group(
+            survivors, mayhb, require_sound_survivor=True
+        ),
+    }
+
+
+def run_figure5(apps: Optional[List[AppSpec]] = None,
+                config: Optional[AnalysisConfig] = None,
+                runner: Optional["CorpusRunner"] = None) -> Figure5Data:
     """Aggregate individual filter effectiveness over the test group."""
+    specs = apps if apps is not None else test_apps()
+    if runner is None:
+        payloads = [figure5_app_data(spec, config) for spec in specs]
+    else:
+        payloads, _ = runner.run(
+            "figure5", [spec.name for spec in specs], {"config": config}
+        )
     data = Figure5Data(
         sound_individual={f.name: 0 for f in SOUND_FILTERS},
         unsound_individual={f.name: 0 for f in UNSOUND_FILTERS},
     )
-    for spec in (apps if apps is not None else test_apps()):
-        result = analyze_corpus_app(spec)
-        report = result.report
-        data.potential += report.potential
-        data.after_sound += report.after_sound
-        data.after_unsound += report.after_unsound
-        for name, count in report.sound_individual.items():
+    for payload in payloads:
+        data.potential += payload["potential"]
+        data.after_sound += payload["after_sound"]
+        data.after_unsound += payload["after_unsound"]
+        for name, count in payload["sound_individual"].items():
             data.sound_individual[name] += count
-        for name, count in report.unsound_individual.items():
+        for name, count in payload["unsound_individual"].items():
             data.unsound_individual[name] += count
-        # combined mayHB bar (RHB + CHB + PHB together)
-        ctx = FilterContext(result.program, result.pointsto, result.lockset)
-        pipeline = FilterPipeline(ctx)
-        mayhb = [f for f in UNSOUND_FILTERS if f.name in MAYHB_FILTER_NAMES]
-        survivors = [w for w in result.warnings if w.survives_sound]
-        data.mayhb_combined += pipeline.count_pruned_group(
-            survivors, mayhb, require_sound_survivor=True
-        )
+        data.mayhb_combined += payload["mayhb_combined"]
     return data
 
 

@@ -10,7 +10,7 @@ category breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 from ..core import AnalysisConfig, analyze_module, AnalysisResult
 from ..corpus import all_apps, AppSpec, FP_CATEGORIES
@@ -18,11 +18,17 @@ from ..race.warnings import PAIR_TYPES
 from ..runtime import Simulator, validate_warning
 from .render import render_table
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner import CorpusRunner
+    from ..runner.serialize import ResultData
+
 
 @dataclass
 class Table1Row:
     app: AppSpec
-    result: AnalysisResult
+    #: the full in-process result on the serial path, or its serializable
+    #: :class:`repro.runner.ResultData` view when produced by the runner
+    result: Union[AnalysisResult, "ResultData"]
     counts: Dict[str, int]
     pair_types: Dict[str, int]
     true_harmful: int = 0
@@ -81,12 +87,34 @@ def build_row(spec: AppSpec, validate: bool = True,
 
 
 def run_table1(validate: bool = True, apps: Optional[List[AppSpec]] = None,
-               random_attempts: int = 40) -> List[Table1Row]:
-    """Build every row (slow with validation; ~1 minute on a laptop)."""
-    return [
-        build_row(spec, validate=validate, random_attempts=random_attempts)
-        for spec in (apps if apps is not None else all_apps())
-    ]
+               random_attempts: int = 40,
+               config: Optional[AnalysisConfig] = None,
+               runner: Optional["CorpusRunner"] = None) -> List[Table1Row]:
+    """Build every row (slow with validation; ~1 minute serially).
+
+    Without a ``runner`` rows are built serially in-process and carry full
+    :class:`AnalysisResult` objects.  With a :class:`repro.runner
+    .CorpusRunner` the per-app analyses fan out over worker processes
+    (and/or come from the result cache) and rows carry serializable
+    :class:`repro.runner.ResultData` views; rendered output is identical
+    either way.
+    """
+    specs = apps if apps is not None else all_apps()
+    if runner is None:
+        return [
+            build_row(spec, validate=validate,
+                      random_attempts=random_attempts, config=config)
+            for spec in specs
+        ]
+    from ..runner.serialize import row_from_dict
+
+    payloads, _ = runner.run(
+        "table1",
+        [spec.name for spec in specs],
+        {"validate": validate, "random_attempts": random_attempts,
+         "config": config},
+    )
+    return [row_from_dict(payload) for payload in payloads]
 
 
 def render_table1(rows: List[Table1Row]) -> str:

@@ -11,10 +11,11 @@ unsound filter (the may-``finish`` CHB cases).  Paper outcome: 28 total,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
 
-from ..core import analyze_module, AnalysisResult
+from ..core import analyze_module, AnalysisConfig, AnalysisResult
 from ..corpus.injector import (
+    all_injections,
     DETECTED,
     INJECTED_APPS,
     injected_module,
@@ -24,6 +25,9 @@ from ..corpus.injector import (
     PRUNED_UNSOUND,
 )
 from .render import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner import CorpusRunner
 
 
 @dataclass
@@ -56,31 +60,57 @@ def _locate(result: AnalysisResult, injection: Injection):
     ]
 
 
-def run_table2() -> List[InjectionOutcome]:
-    outcomes: List[InjectionOutcome] = []
-    for app_name in INJECTED_APPS:
-        result = analyze_module(injected_module(app_name))
-        forest = result.program.forest
-        for injection in injections_for(app_name):
-            candidates = _locate(result, injection)
-            detected = bool(candidates)
-            surviving = any(w.survives_all for w in candidates)
-            pruned_sound = detected and not any(
+def _injection_by_id(injection_id: str) -> Injection:
+    for injection in all_injections():
+        if injection.injection_id == injection_id:
+            return injection
+    raise KeyError(injection_id)
+
+
+def table2_app_data(app_name: str,
+                    config: Optional[AnalysisConfig] = None) -> Dict:
+    """Classify one app's injections (serializable outcome records)."""
+    result = analyze_module(injected_module(app_name), config=config)
+    outcomes = []
+    for injection in injections_for(app_name):
+        candidates = _locate(result, injection)
+        detected = bool(candidates)
+        outcomes.append({
+            "injection_id": injection.injection_id,
+            "detected": detected,
+            "surviving": any(w.survives_all for w in candidates),
+            "pruned_sound": detected and not any(
                 w.survives_sound for w in candidates
-            )
-            pair_type = "-"
-            if candidates:
-                pair_type = candidates[0].pair_type()
-            outcomes.append(
-                InjectionOutcome(
-                    injection=injection,
-                    detected=detected,
-                    surviving=surviving,
-                    pruned_sound=pruned_sound,
-                    pair_type=pair_type,
-                )
-            )
-    return outcomes
+            ),
+            "pair_type": candidates[0].pair_type() if candidates else "-",
+        })
+    return {"outcomes": outcomes}
+
+
+def _outcome_from_dict(record: Dict) -> InjectionOutcome:
+    return InjectionOutcome(
+        injection=_injection_by_id(record["injection_id"]),
+        detected=record["detected"],
+        surviving=record["surviving"],
+        pruned_sound=record["pruned_sound"],
+        pair_type=record["pair_type"],
+    )
+
+
+def run_table2(config: Optional[AnalysisConfig] = None,
+               runner: Optional["CorpusRunner"] = None
+               ) -> List[InjectionOutcome]:
+    if runner is None:
+        payloads = [table2_app_data(name, config) for name in INJECTED_APPS]
+    else:
+        payloads, _ = runner.run(
+            "table2", list(INJECTED_APPS), {"config": config}
+        )
+    return [
+        _outcome_from_dict(record)
+        for payload in payloads
+        for record in payload["outcomes"]
+    ]
 
 
 def summarize_table2(outcomes: List[InjectionOutcome]) -> Dict[str, int]:

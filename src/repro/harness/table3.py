@@ -15,12 +15,16 @@ misses every cross-class and cross-thread true UAF nAdroid reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
 
-from ..corpus import train_apps
+from ..core import AnalysisConfig
+from ..corpus import AppSpec, train_apps
 from ..deva import DevaWarning, run_deva
 from .render import render_table
 from .table1 import analyze_corpus_app
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner import CorpusRunner
 
 
 @dataclass
@@ -40,31 +44,80 @@ class Table3Row:
         return "Detected & Reported"
 
 
-def run_table3() -> List[Table3Row]:
+def table3_app_data(spec: AppSpec,
+                    config: Optional[AnalysisConfig] = None) -> Dict:
+    """One app's DEvA-vs-nAdroid comparison data (serializable).
+
+    ``rows`` carries every harmful DEvA warning with nAdroid's verdict;
+    ``deva_missed`` counts the true UAFs nAdroid reports on this app that
+    DEvA's harmful set misses (the reverse direction of Table 3).
+    """
+    result = analyze_corpus_app(spec, config)
+    deva_warnings = run_deva(result.program.module)
+    nadroid_by_key = {w.key: w for w in result.warnings}
+    rows = []
+    for dw in deva_warnings:
+        if not dw.harmful:
+            continue
+        warning = nadroid_by_key.get(dw.key)
+        detected = warning is not None
+        filtered = detected and not warning.survives_all
+        filtered_by = ""
+        if detected and filtered:
+            filtered_by = ",".join(sorted(warning.pruning_filters()))
+        rows.append({
+            "deva": {
+                "field_class": dw.field_class,
+                "field_name": dw.field_name,
+                "use_method": dw.use_method,
+                "free_method": dw.free_method,
+                "use_uid": dw.use_uid,
+                "free_uid": dw.free_uid,
+                "harmful": dw.harmful,
+            },
+            "detected": detected,
+            "filtered": filtered,
+            "filtered_by": filtered_by,
+        })
+    deva_keys = {dw.key for dw in deva_warnings if dw.harmful}
+    deva_missed = sum(
+        1 for w in result.remaining()
+        if w.fieldref.field_name in spec.true_uaf_fields
+        and w.key not in deva_keys
+    )
+    return {"rows": rows, "deva_missed": deva_missed}
+
+
+def _rows_from_data(spec: AppSpec, payload: Dict) -> List[Table3Row]:
+    return [
+        Table3Row(
+            app=spec.name,
+            deva_warning=DevaWarning(**record["deva"]),
+            nadroid_detected=record["detected"],
+            nadroid_filtered=record["filtered"],
+            filtered_by=record["filtered_by"],
+        )
+        for record in payload["rows"]
+    ]
+
+
+def _train_data(config: Optional[AnalysisConfig] = None,
+                runner: Optional["CorpusRunner"] = None):
+    specs = train_apps()
+    if runner is None:
+        payloads = [table3_app_data(spec, config) for spec in specs]
+    else:
+        payloads, _ = runner.run(
+            "table3", [spec.name for spec in specs], {"config": config}
+        )
+    return list(zip(specs, payloads))
+
+
+def run_table3(config: Optional[AnalysisConfig] = None,
+               runner: Optional["CorpusRunner"] = None) -> List[Table3Row]:
     rows: List[Table3Row] = []
-    for spec in train_apps():
-        result = analyze_corpus_app(spec)
-        deva_warnings = run_deva(result.program.module)
-        nadroid_by_key = {w.key: w for w in result.warnings}
-        for dw in deva_warnings:
-            if not dw.harmful:
-                continue
-            warning = nadroid_by_key.get(dw.key)
-            detected = warning is not None
-            filtered = detected and not warning.survives_all
-            filtered_by = ""
-            if detected and filtered:
-                names = warning.pruning_filters()
-                filtered_by = ",".join(sorted(names))
-            rows.append(
-                Table3Row(
-                    app=spec.name,
-                    deva_warning=dw,
-                    nadroid_detected=detected,
-                    nadroid_filtered=filtered,
-                    filtered_by=filtered_by,
-                )
-            )
+    for spec, payload in _train_data(config, runner):
+        rows.extend(_rows_from_data(spec, payload))
     return rows
 
 
@@ -80,28 +133,21 @@ def summarize_table3(rows: List[Table3Row]) -> Dict[str, int]:
     }
 
 
-def nadroid_only_true_uafs() -> Dict[str, int]:
+def nadroid_only_true_uafs(
+        config: Optional[AnalysisConfig] = None,
+        runner: Optional["CorpusRunner"] = None) -> Dict[str, int]:
     """True UAFs nAdroid reports that DEvA's harmful set misses entirely
     (the false-negative direction of the comparison)."""
     missed_by_deva: Dict[str, int] = {}
-    for spec in train_apps():
-        if not spec.true_uaf_fields:
-            continue
-        result = analyze_corpus_app(spec)
-        deva_keys = {
-            w.key for w in run_deva(result.program.module) if w.harmful
-        }
-        count = sum(
-            1 for w in result.remaining()
-            if w.fieldref.field_name in spec.true_uaf_fields
-            and w.key not in deva_keys
-        )
-        if count:
-            missed_by_deva[spec.name] = count
+    for spec, payload in _train_data(config, runner):
+        if spec.true_uaf_fields and payload["deva_missed"]:
+            missed_by_deva[spec.name] = payload["deva_missed"]
     return missed_by_deva
 
 
-def render_table3(rows: List[Table3Row]) -> str:
+def render_table3(rows: List[Table3Row],
+                  config: Optional[AnalysisConfig] = None,
+                  runner: Optional["CorpusRunner"] = None) -> str:
     body = [
         (
             r.app,
@@ -116,7 +162,7 @@ def render_table3(rows: List[Table3Row]) -> str:
         ["APP", "Field", "Use Callback", "Free Callback", "nAdroid"], body
     )
     s = summarize_table3(rows)
-    deva_misses = nadroid_only_true_uafs()
+    deva_misses = nadroid_only_true_uafs(config, runner)
     return (
         f"{table}\n\n"
         f"DEvA harmful: {s['deva_harmful']}; nAdroid detects "

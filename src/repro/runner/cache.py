@@ -1,0 +1,96 @@
+"""Content-addressed on-disk result cache for corpus analyses.
+
+A cache entry is keyed by the SHA-256 of everything that determines the
+analysis outcome:
+
+* the task kind (``table1``, ``figure5``, ...),
+* the app's *source text* (the injected variant for Table 2), so editing
+  a corpus app re-analyzes exactly that app,
+* the :class:`repro.core.AnalysisConfig` fingerprint plus any
+  task-specific parameters (``validate``, ``random_attempts``),
+* the ``repro`` package version and a cache schema version, so analyzer
+  changes shipped with a release never resurface stale results.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` (two-level
+fan-out keeps directories small on big corpora).  Reads tolerate missing
+or corrupt files -- both count as a miss -- and writes go through a
+same-directory temp file + ``os.replace`` so concurrent runs never
+observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .. import __version__
+
+#: bump when the payload layout changes without a package version bump
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """``$NADROID_CACHE_DIR`` when set, else ``~/.cache/nadroid``."""
+    env = os.environ.get("NADROID_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "nadroid"
+
+
+def cache_key(kind: str, source: str, fingerprint: Dict[str, Any]) -> str:
+    """Content hash identifying one (task, app source, config) analysis."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "kind": kind,
+        "source_sha": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        "fingerprint": fingerprint,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed JSON results, with hit counters."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1

@@ -1,0 +1,195 @@
+"""Parallel, cached corpus-analysis runner.
+
+The corpus drivers (Table 1, Figure 5, Tables 2/3, the timing study) all
+reduce to *one independent analysis per app* followed by aggregation, so
+they share this runner: a ``ProcessPoolExecutor`` fan-out over apps with a
+content-addressed on-disk result cache in front (see
+:mod:`repro.runner.cache`).
+
+Determinism contract: results are keyed and re-ordered by the input app
+order and every payload is serialized in a canonical form (warnings sorted
+by :func:`repro.runner.serialize.warning_sort_key`), so a ``--jobs 4`` run
+is byte-identical to a serial run no matter which worker finishes first.
+``tests/test_runner.py`` pins this property.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import cache_key, ResultCache
+from .serialize import config_fingerprint
+
+
+def _task_table1(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..corpus import app
+    from ..harness.table1 import build_row
+    from .serialize import row_to_dict
+
+    row = build_row(
+        app(app_name),
+        validate=params.get("validate", True),
+        random_attempts=params.get("random_attempts", 40),
+        config=params.get("config"),
+    )
+    return row_to_dict(row)
+
+
+def _task_figure5(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..corpus import app
+    from ..harness.figure5 import figure5_app_data
+
+    return figure5_app_data(app(app_name), params.get("config"))
+
+
+def _task_table2(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..harness.table2 import table2_app_data
+
+    return table2_app_data(app_name, params.get("config"))
+
+
+def _task_table3(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..corpus import app
+    from ..harness.table3 import table3_app_data
+
+    return table3_app_data(app(app_name), params.get("config"))
+
+
+def _task_timing(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..corpus import app
+    from ..harness.table1 import analyze_corpus_app
+
+    result = analyze_corpus_app(app(app_name), params.get("config"))
+    return {"timings": dict(result.timings)}
+
+
+_TASKS = {
+    "table1": _task_table1,
+    "figure5": _task_figure5,
+    "table2": _task_table2,
+    "table3": _task_table3,
+    "timing": _task_timing,
+}
+
+TASK_KINDS = tuple(sorted(_TASKS))
+
+
+def execute_app_task(kind: str, app_name: str,
+                     params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one per-app analysis task; the worker-process entry point."""
+    return _TASKS[kind](app_name, params)
+
+
+def _source_for(kind: str, app_name: str) -> str:
+    """The source text whose content addresses this task's cache entry."""
+    if kind == "table2":
+        from ..corpus.injector import injected_source
+
+        return injected_source(app_name)
+    from ..corpus import app
+
+    return app(app_name).source()
+
+
+@dataclass
+class RunStats:
+    """What one driver invocation actually did."""
+
+    analyzed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def total(self) -> int:
+        return self.analyzed + self.cached
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} apps ({self.analyzed} analyzed, "
+            f"{self.cached} from cache) in {self.wall_seconds:.2f}s "
+            f"with {self.jobs} job{'s' if self.jobs != 1 else ''}"
+        )
+
+
+class CorpusRunner:
+    """Fan per-app analysis tasks out over processes, behind the cache.
+
+    ``jobs <= 1`` runs in-process (no executor), which is also the
+    fallback when only one app misses the cache.  ``cache=None`` disables
+    caching entirely.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.last_stats: Optional[RunStats] = None
+
+    @staticmethod
+    def _fingerprint(params: Dict[str, Any]) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "config": config_fingerprint(params.get("config"))
+        }
+        for name, value in params.items():
+            if name != "config":
+                out[name] = value
+        return out
+
+    def run(
+        self,
+        kind: str,
+        app_names: Sequence[str],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[List[Dict[str, Any]], RunStats]:
+        """Execute ``kind`` for every app; results follow the input order."""
+        if kind not in _TASKS:
+            raise ValueError(f"unknown task kind {kind!r}; "
+                             f"expected one of {TASK_KINDS}")
+        start = time.perf_counter()
+        params = dict(params or {})
+        fingerprint = self._fingerprint(params)
+
+        results: Dict[str, Dict[str, Any]] = {}
+        keys: Dict[str, str] = {}
+        pending: List[str] = []
+        for name in app_names:
+            if name in results or name in pending:
+                continue  # duplicate input name: analyze once
+            if self.cache is not None:
+                key = cache_key(kind, _source_for(kind, name), fingerprint)
+                keys[name] = key
+                hit = self.cache.lookup(key)
+                if hit is not None:
+                    results[name] = hit
+                    continue
+            pending.append(name)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        name: pool.submit(execute_app_task, kind, name, params)
+                        for name in pending
+                    }
+                    for name in pending:
+                        results[name] = futures[name].result()
+            else:
+                for name in pending:
+                    results[name] = execute_app_task(kind, name, params)
+            if self.cache is not None:
+                for name in pending:
+                    self.cache.store(keys[name], results[name])
+
+        stats = RunStats(
+            analyzed=len(pending),
+            cached=len(results) - len(pending),
+            wall_seconds=time.perf_counter() - start,
+            jobs=self.jobs,
+        )
+        self.last_stats = stats
+        return [results[name] for name in app_names], stats

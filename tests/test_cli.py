@@ -60,3 +60,70 @@ def test_simulate_buggy_app_reports_npe(app_file, capsys):
 def test_unknown_command_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_missing_file_exits_2_with_one_line_error(capsys):
+    code = main(["analyze", "/no/such/file.mjava"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.out == ""
+    lines = captured.err.strip().splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("nadroid: error: cannot read /no/such/file.mjava")
+    assert "Traceback" not in captured.err
+
+
+def test_simulate_missing_file_exits_2(capsys):
+    code = main(["simulate", "/no/such/file.mjava"])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_corpus_subset_serial_and_parallel_stdout_identical(capsys):
+    args = ["corpus", "--apps", "todolist", "swiftnotes", "clipstack",
+            "--no-cache"]
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+    assert main(args + ["--jobs", "4"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert serial_out == parallel_out
+    assert "todolist" in serial_out and "clipstack" in serial_out
+
+
+def test_corpus_cache_dir_round_trip(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["corpus", "--apps", "todolist", "--cache-dir", cache_dir]
+    assert main(args) == 0
+    first = capsys.readouterr()
+    assert "1 analyzed, 0 from cache" in first.err
+    assert main(args) == 0
+    second = capsys.readouterr()
+    assert "0 analyzed, 1 from cache" in second.err
+    assert first.out == second.out
+
+
+def test_corpus_cache_dir_is_a_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "not-a-dir"
+    bogus.write_text("")
+    code = main(["corpus", "--apps", "todolist", "--cache-dir", str(bogus)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot use cache directory" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_corpus_unknown_app_exits_2(capsys):
+    code = main(["corpus", "--apps", "nonesuch", "--no-cache"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown corpus app 'nonesuch'" in captured.err
+
+
+def test_corpus_csv_export_with_runner(tmp_path, capsys):
+    csv_path = tmp_path / "out.csv"
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--csv", str(csv_path)])
+    assert code == 0
+    content = csv_path.read_text().splitlines()
+    assert content[0].startswith("group,app,EC,PC,T")
+    assert content[1].startswith("train,todolist,5,0,1")

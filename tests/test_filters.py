@@ -1,0 +1,255 @@
+"""Unit tests for the section-6 filters on hand-built warning pairs.
+
+Each sound filter (Must-HB, If-Guard, Intra-Allocation) gets a *drop*
+case (the pattern section 6.1 says it prunes) and a *keep* case (the
+near-identical pattern it must not touch).  The keep cases run with
+``FilterOptions(sound_only=True)`` so no unsound filter can mask a sound
+filter firing where it should not.
+"""
+
+from repro.core import analyze_app, AnalysisConfig
+from repro.filters.base import FilterOptions
+
+
+def sound_only_config():
+    return AnalysisConfig(filters=FilterOptions(sound_only=True))
+
+
+def warnings_on(result, field_name, collection=None):
+    pool = result.warnings if collection is None else collection
+    return [w for w in pool if w.fieldref.field_name == field_name]
+
+
+def pruners_of(warning):
+    names = set()
+    for occ in warning.occurrences:
+        if occ.pruned_by:
+            names.add(occ.pruned_by)
+        if occ.downgraded_by:
+            names.add(occ.downgraded_by)
+    return names
+
+
+# -- Must-Happens-Before (6.1.1) ---------------------------------------------
+
+MHB_DROP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  void onResume() {
+    f.use();
+  }
+  void onDestroy() {
+    f = null;
+  }
+}
+"""
+
+MHB_KEEP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  void onResume() {
+    f.use();
+  }
+  void onPause() {
+    f = null;
+  }
+}
+"""
+
+
+def test_mhb_drops_use_before_ondestroy_free():
+    result = analyze_app(MHB_DROP, config=sound_only_config())
+    potential = warnings_on(result, "f")
+    assert potential, "the onResume/onDestroy pair must be detected"
+    assert not warnings_on(result, "f", result.after_sound())
+    assert all("MHB" in pruners_of(w) for w in potential)
+
+
+def test_mhb_keeps_resume_pause_pair():
+    # the lifecycle back edge makes onResume/onPause circular: no MHB
+    result = analyze_app(MHB_KEEP, config=sound_only_config())
+    potential = warnings_on(result, "f")
+    assert potential
+    assert warnings_on(result, "f", result.after_sound()), \
+        "onResume vs onPause has no sound happens-before ordering"
+    assert all("MHB" not in pruners_of(w) for w in potential)
+
+
+# -- If-Guard (6.1.2) --------------------------------------------------------
+
+IG_DROP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        if (f != null) {
+          f.use();
+        }
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+IG_KEEP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  void onCreate(Bundle b) {
+    W w = new W();
+    w.app = this;
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        if (f != null) {
+          f.use();
+        }
+      }
+    });
+    new Thread(w).start();
+  }
+}
+class W implements Runnable {
+  A app;
+  public void run() {
+    app.f = null;
+  }
+}
+"""
+
+
+def test_ig_drops_guarded_use_on_same_looper():
+    result = analyze_app(IG_DROP, config=sound_only_config())
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.after_sound())
+    assert any("IG" in pruners_of(w) for w in potential)
+
+
+def test_ig_keeps_guarded_use_against_background_thread_free():
+    # the guard's check-to-use window is not atomic w.r.t. a native
+    # thread's free (no shared looper, no common lock): IG must not fire
+    result = analyze_app(IG_KEEP, config=sound_only_config())
+    potential = warnings_on(result, "f")
+    assert potential
+    assert warnings_on(result, "f", result.after_sound()), \
+        "a guard alone cannot protect against a concurrent thread free"
+
+
+# -- Intra-Allocation (6.1.3) ------------------------------------------------
+
+IA_DROP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = new F();
+        f.use();
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+IA_KEEP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  F make() {
+    return new F();
+  }
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = make();
+        f.use();
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_ia_drops_use_after_fresh_allocation():
+    result = analyze_app(IA_DROP, config=sound_only_config())
+    potential = warnings_on(result, "f")
+    assert potential
+    assert not warnings_on(result, "f", result.after_sound())
+    assert any("IA" in pruners_of(w) for w in potential)
+
+
+def test_ia_keeps_getter_produced_value():
+    # a value arriving through a call is only prunable by the *unsound*
+    # MA filter (6.2.2); sound IA must leave it alone
+    result = analyze_app(IA_KEEP, config=sound_only_config())
+    potential = warnings_on(result, "f")
+    assert potential
+    assert warnings_on(result, "f", result.after_sound())
+    assert all("IA" not in pruners_of(w) for w in potential)
+
+
+# -- sound-only path ---------------------------------------------------------
+
+RHB_PATTERN = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View button;
+  void onCreate(Bundle b) {
+    button.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f.use();
+      }
+    });
+  }
+  void onResume() {
+    f = new F();
+  }
+  void onPause() {
+    f = null;
+  }
+}
+"""
+
+
+def test_unsound_filters_off_in_sound_only_path():
+    """The RHB-prunable pattern survives when only sound filters run."""
+    default = analyze_app(RHB_PATTERN)
+    assert not warnings_on(default, "f", default.remaining()), \
+        "under the default pipeline RHB prunes the pattern"
+
+    sound_only = analyze_app(RHB_PATTERN, config=sound_only_config())
+    surviving = warnings_on(sound_only, "f", sound_only.remaining())
+    assert surviving, "with unsound filters off the warning must survive"
+    for warning in warnings_on(sound_only, "f"):
+        assert all(o.downgraded_by is None for o in warning.occurrences)
+    report = sound_only.report
+    assert report.after_unsound == report.after_sound
+    assert report.unsound_individual == {}
