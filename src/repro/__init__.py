@@ -12,6 +12,7 @@ Public entry points:
 * :func:`repro.core.analyze_app` -- full nAdroid pipeline on an IR module
 * :mod:`repro.corpus` -- the 27-app synthetic evaluation corpus
 * :mod:`repro.harness` -- drivers that regenerate every paper table/figure
+* :mod:`repro.obs` -- span tracing, metrics, and profiling for all of it
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional
 
+from .. import obs
 from ..ir import Instruction, Local, Method, Module, MonitorEnter, MonitorExit
 from .dataflow import run_forward
 from .pointsto import HeapObject, PointsToResult
@@ -41,7 +42,9 @@ class LocksetAnalysis:
     def _method_locks(self, method: Method) -> Dict[int, LockState]:
         qname = method.qualified_name
         if qname in self._cache:
+            obs.add("lockset.cache_hits")
             return self._cache[qname]
+        obs.add("lockset.methods_analyzed")
 
         def transfer(instr: Instruction, state: LockState) -> LockState:
             if isinstance(instr, MonitorEnter):

@@ -26,6 +26,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from .. import obs
 from ..ir import (
     Assign,
     Const,
@@ -196,6 +197,30 @@ class PointsToAnalysis:
                     continue
                 for ctx in list(self.contexts[qname]):
                     self._process(method, qname, ctx)
+
+        # Deterministic size metrics for the section 8.8 observability
+        # layer: all are functions of the final fixpoint, not of pass
+        # scheduling, so --jobs 1 and --jobs 4 report identical values.
+        obs.add("pointsto.passes", passes)
+        obs.add("pointsto.contexts",
+                sum(len(ctxs) for ctxs in self.contexts.values()))
+        obs.add("pointsto.reachable_methods", len(self.contexts))
+        obs.add("pointsto.var_facts",
+                sum(len(objs) for objs in self.var_pts.values()))
+        obs.add("pointsto.field_facts",
+                sum(len(objs) for objs in self.field_pts.values()))
+        obs.add("pointsto.static_facts",
+                sum(len(objs) for objs in self.static_pts.values()))
+        abstract_objects = set()
+        for objs in self.var_pts.values():
+            abstract_objects.update(objs)
+        for objs in self.field_pts.values():
+            abstract_objects.update(objs)
+        for objs in self.static_pts.values():
+            abstract_objects.update(objs)
+        obs.add("pointsto.abstract_objects", len(abstract_objects))
+        obs.add("pointsto.call_edges",
+                sum(len(c) for c in self.cs_call_edges.values()))
 
         return PointsToResult(
             module=self.module,

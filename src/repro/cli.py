@@ -9,6 +9,12 @@ Subcommands:
 * ``table2``           -- injected false-negative study
 * ``table3``           -- DEvA comparison
 * ``timing``           -- section 8.8 stage breakdown
+* ``bench``            -- corpus benchmark writing ``BENCH_<date>.json``
+
+Observability (``docs/observability.md``): every corpus subcommand and
+``analyze`` accept ``--trace`` (span tree on stderr) and
+``--metrics-out PATH`` (deterministic JSON).  Observability output never
+touches stdout, which stays byte-stable across ``--jobs`` settings.
 """
 
 from __future__ import annotations
@@ -70,12 +76,49 @@ def _corpus_apps(args: argparse.Namespace):
 
 def _report_stats(runner) -> None:
     """Fan-out/cache statistics go to stderr so stdout stays byte-stable
-    across --jobs settings."""
-    if runner.last_stats is not None:
-        print(f"[runner] {runner.last_stats.describe()}", file=sys.stderr)
+    across --jobs settings; the line is rendered from the run's metrics
+    snapshot rather than hand-formatted."""
+    if runner.last_metrics is not None:
+        from .obs import describe_run
+
+        print(f"[runner] {describe_run(runner.last_metrics.run)}",
+              file=sys.stderr)
+
+
+def _emit_observability(args, runner) -> None:
+    """Honor --trace / --metrics-out for a runner-driven subcommand."""
+    metrics = runner.last_metrics
+    if metrics is None:
+        return
+    if getattr(args, "trace", False):
+        from .obs import render_spans
+
+        for snapshot in metrics.apps.values():
+            rendered = render_spans(snapshot.spans)
+            if rendered:
+                print(rendered, file=sys.stderr)
+    out = getattr(args, "metrics_out", None)
+    if out:
+        from .obs import write_json
+
+        payload = {
+            "run": metrics.run.to_dict(),
+            "apps": {
+                name: snapshot.to_dict()
+                for name, snapshot in metrics.apps.items()
+            },
+            "totals": metrics.totals().to_dict(),
+        }
+        try:
+            write_json(out, payload)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot write metrics to {out}: {reason}") from exc
+        print(f"[obs] wrote {out}", file=sys.stderr)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from . import obs
     from .core import analyze_app, AnalysisConfig
     from .race.detector import DetectorOptions
 
@@ -83,7 +126,29 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         k=args.k,
         detector=DetectorOptions(engine=args.engine),
     )
-    result = analyze_app(_read_sources(args.files), config=config)
+    recorder = obs.Recorder(profile_stages=args.profile_stage or ())
+    with obs.use(recorder):
+        result = analyze_app(_read_sources(args.files), config=config)
+    snapshot = recorder.snapshot()
+    if args.trace:
+        print(obs.render_spans(snapshot.spans), file=sys.stderr)
+        print(obs.render_metrics(snapshot), file=sys.stderr)
+    if args.profile_stage:
+        for root in recorder.roots:
+            for node in root.walk():
+                profile = node.attrs.get("profile")
+                if profile:
+                    print(f"[profile] {node.name}\n{profile}",
+                          file=sys.stderr)
+    if args.metrics_out:
+        try:
+            obs.write_json(args.metrics_out, snapshot.to_dict())
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot write metrics to {args.metrics_out}: {reason}"
+            ) from exc
+        print(f"[obs] wrote {args.metrics_out}", file=sys.stderr)
     counts = result.counts()
     print(f"modeled threads : EC={counts['EC']} PC={counts['PC']} "
           f"T={counts['T']}")
@@ -146,6 +211,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         validate=args.validate, apps=_corpus_apps(args), runner=runner
     )
     _report_stats(runner)
+    _emit_observability(args, runner)
     print(render_table1(rows))
     if args.validate:
         print(f"\ntrue harmful UAFs: {total_true_harmful(rows)}")
@@ -181,6 +247,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     data = run_figure5(runner=runner)
     _report_stats(runner)
+    _emit_observability(args, runner)
     print(render_figure5(data))
     return 0
 
@@ -191,6 +258,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     outcomes = run_table2(runner=runner)
     _report_stats(runner)
+    _emit_observability(args, runner)
     print(render_table2(outcomes))
     return 0
 
@@ -201,6 +269,7 @@ def cmd_table3(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     rows = run_table3(runner=runner)
     _report_stats(runner)
+    _emit_observability(args, runner)
     print(render_table3(rows, runner=runner))
     return 0
 
@@ -211,7 +280,29 @@ def cmd_timing(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     data = run_timing(runner=runner)
     _report_stats(runner)
+    _emit_observability(args, runner)
     print(render_timing(data))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import default_bench_path, run_bench, write_bench
+
+    # Bench measures; a warm cache would replay old durations.  Only use
+    # the cache when the user explicitly points at one.
+    if not args.cache_dir:
+        args.no_cache = True
+    runner = _make_runner(args)
+    payload = run_bench(runner, apps=_corpus_apps(args))
+    _report_stats(runner)
+    _emit_observability(args, runner)
+    out = args.out or default_bench_path()
+    try:
+        write_bench(payload, out)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise CliError(f"cannot write benchmark to {out}: {reason}") from exc
+    print(f"[bench] wrote {out}", file=sys.stderr)
     return 0
 
 
@@ -231,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default="datalog", help="race-pair solver backend")
     p.add_argument("--validate", action="store_true",
                    help="dynamically confirm surviving warnings")
+    p.add_argument("--trace", action="store_true",
+                   help="print the stage span tree and metrics to stderr")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics snapshot as JSON to PATH")
+    p.add_argument("--profile-stage", action="append", metavar="STAGE",
+                   help="cProfile a pipeline stage (e.g. pointsto, "
+                        "detect); repeatable; report goes to stderr")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("simulate", help="run an app under a random schedule")
@@ -255,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "$NADROID_CACHE_DIR or ~/.cache/nadroid)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the result cache for this run")
+        p.add_argument("--trace", action="store_true",
+                       help="print per-app span trees to stderr (worker "
+                            "spans nest under each app's root)")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write run + per-app metrics as JSON to PATH")
 
     p = sub.add_parser("corpus", help="Table 1 over the 27-app corpus")
     p.add_argument("--validate", action="store_true")
@@ -274,6 +377,17 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         _add_runner_flags(p)
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the corpus benchmark and write BENCH_<date>.json",
+    )
+    p.add_argument("--apps", nargs="+", metavar="NAME",
+                   help="restrict to these corpus apps (default: all 27)")
+    p.add_argument("--out", metavar="PATH",
+                   help="output path (default: BENCH_<YYYY-MM-DD>.json)")
+    _add_runner_flags(p)
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

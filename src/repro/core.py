@@ -3,20 +3,24 @@
 ``analyze_app`` runs the full chain on MiniDroid sources or a pre-lowered
 module:
 
-    modeling (threadification, section 4)
+    lowering (MiniDroid -> IR)
+      -> modeling (threadification, section 4)
       -> potential ordering-violation detection (section 5)
       -> filtering (section 6)
       -> programmer-facing report (section 7)
 
-and records per-stage wall-clock timings for the section 8.8 benchmark.
+Every stage runs inside a :mod:`repro.obs` span; ``AnalysisResult.timings``
+is the backward-compatible flat view of those spans for the section 8.8
+benchmark, and the funnel counters (candidate pairs -> potential ->
+after_sound -> remaining) land on whatever recorder the caller installed.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from . import obs
 from .analysis.lockset import LocksetAnalysis
 from .analysis.pointsto import PointsToResult, run_pointsto
 from .android.manifest import Manifest
@@ -26,6 +30,7 @@ from .filters.sound import SOUND_FILTERS
 from .filters.unsound import UNSOUND_FILTERS
 from .ir import Module
 from .lowering import lower_sources
+from .obs import Span
 from .race.detector import detect_uaf_warnings, DetectorOptions
 from .race.warnings import PAIR_TYPES, UafWarning
 from .threadify.transform import threadify, ThreadifiedProgram
@@ -43,14 +48,27 @@ class AnalysisConfig:
 
 @dataclass
 class AnalysisResult:
-    """Everything the pipeline produced, plus stage timings (seconds)."""
+    """Everything the pipeline produced, plus its stage trace."""
 
     program: ThreadifiedProgram
     pointsto: PointsToResult
     lockset: LocksetAnalysis
     warnings: List[UafWarning]
     report: FilterReport
-    timings: Dict[str, float]
+    #: top-level stage spans in execution order (lowering is present when
+    #: the caller compiled from source; nested detail hangs off each span)
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Per-stage seconds, derived from the spans.
+
+        The pre-observability interface: flat ``{stage: seconds}`` plus a
+        ``"total"`` summing every stage (including lowering when timed).
+        """
+        out = {span.name: span.duration for span in self.spans}
+        out["total"] = sum(span.duration for span in self.spans)
+        return out
 
     # -- Table 1 style accessors ----------------------------------------------
 
@@ -91,32 +109,44 @@ def analyze_module(
     module: Module,
     manifest: Optional[Manifest] = None,
     config: Optional[AnalysisConfig] = None,
+    extra_spans: Optional[Sequence[Span]] = None,
 ) -> AnalysisResult:
-    """Run the pipeline on an *unsealed* lowered module."""
+    """Run the pipeline on an *unsealed* lowered module.
+
+    ``extra_spans`` lets callers that did timed work *before* this point
+    (source lowering, mainly) prepend their spans, so ``timings["total"]``
+    covers the real end-to-end wall-clock.
+    """
     config = config or AnalysisConfig()
-    timings: Dict[str, float] = {}
+    spans: List[Span] = list(extra_spans or ())
 
-    start = time.perf_counter()
-    program = threadify(module, manifest)
-    timings["modeling"] = time.perf_counter() - start
+    with obs.span("modeling") as sp:
+        program = threadify(module, manifest)
+    spans.append(sp)
 
-    start = time.perf_counter()
-    pointsto = run_pointsto(program.module, k=config.k)
-    lockset = LocksetAnalysis(program.module, pointsto)
-    warnings = detect_uaf_warnings(
-        program, pointsto, config.detector, lockset
-    )
-    timings["detection"] = time.perf_counter() - start
+    with obs.span("detection") as sp:
+        with obs.span("pointsto", k=config.k):
+            pointsto = run_pointsto(program.module, k=config.k)
+        with obs.span("lockset"):
+            lockset = LocksetAnalysis(program.module, pointsto)
+        with obs.span("detect", engine=config.detector.engine):
+            warnings = detect_uaf_warnings(
+                program, pointsto, config.detector, lockset
+            )
+    spans.append(sp)
 
-    start = time.perf_counter()
-    ctx = FilterContext(program, pointsto, lockset, config.filters)
-    unsound = () if config.filters.sound_only else UNSOUND_FILTERS
-    pipeline = FilterPipeline(ctx, SOUND_FILTERS, unsound)
-    report = pipeline.apply(
-        warnings, with_individual_stats=config.collect_individual_filter_stats
-    )
-    timings["filtering"] = time.perf_counter() - start
-    timings["total"] = sum(timings.values())
+    with obs.span("filtering") as sp:
+        ctx = FilterContext(program, pointsto, lockset, config.filters)
+        unsound = () if config.filters.sound_only else UNSOUND_FILTERS
+        pipeline = FilterPipeline(ctx, SOUND_FILTERS, unsound)
+        report = pipeline.apply(
+            warnings, with_individual_stats=config.collect_individual_filter_stats
+        )
+    spans.append(sp)
+
+    obs.add("funnel.potential", report.potential)
+    obs.add("funnel.after_sound", report.after_sound)
+    obs.add("funnel.remaining", report.after_unsound)
 
     return AnalysisResult(
         program=program,
@@ -124,7 +154,7 @@ def analyze_module(
         lockset=lockset,
         warnings=warnings,
         report=report,
-        timings=timings,
+        spans=spans,
     )
 
 
@@ -135,5 +165,6 @@ def analyze_app(
     module_name: str = "app",
 ) -> AnalysisResult:
     """Compile MiniDroid sources and run the full nAdroid pipeline."""
-    module = lower_sources(sources, module_name=module_name, seal=False)
-    return analyze_module(module, manifest, config)
+    with obs.span("lowering") as sp:
+        module = lower_sources(sources, module_name=module_name, seal=False)
+    return analyze_module(module, manifest, config, extra_spans=[sp])

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .. import obs
 from .terms import is_var, Literal, Program, Rule, Var
 
 Row = Tuple
@@ -202,7 +203,10 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
         if not rule.body:  # rule-level facts
             db.add(rule.head.pred, _instantiate(rule.head, {}))
 
-    for stratum in stratify(program):
+    strata = stratify(program)
+    obs.add("datalog.strata", len(strata))
+    obs.add("datalog.edb_facts", sum(len(r) for r in db.relations.values()))
+    for stratum in strata:
         rules = [r for r in stratum if r.body]
         stratum_preds = {r.head.pred for r in rules}
         # Derivations are buffered per pass so joins never observe a
@@ -215,6 +219,9 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
         for pred, row in derived:
             if db.add(pred, row):
                 delta[pred].add(row)
+        obs.add("datalog.passes")
+        obs.add("datalog.derived_facts",
+                sum(len(rows) for rows in delta.values()))
         # semi-naive iterations
         while any(delta.values()):
             derived = []
@@ -237,6 +244,11 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
                 if db.add(pred, row):
                     new_delta[pred].add(row)
             delta = new_delta
+            obs.add("datalog.passes")
+            obs.add("datalog.derived_facts",
+                    sum(len(rows) for rows in delta.values()))
+    obs.add("datalog.total_facts",
+            sum(len(rows) for rows in db.relations.values()))
     return db.relations
 
 

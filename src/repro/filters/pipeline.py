@@ -6,6 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
+from .. import obs
 from ..race.warnings import UafWarning
 from .base import Filter, FilterContext
 from .sound import SOUND_FILTERS
@@ -61,12 +62,16 @@ class FilterPipeline:
                     warnings, f, require_sound_survivor=False
                 )
 
+        pruned_by: Dict[str, int] = {}
         for warning in warnings:
             for occ in warning.occurrences:
                 for f in self.sound_filters:
                     if f.prunes(occ, warning, self.ctx):
                         occ.pruned_by = f.name
+                        pruned_by[f.name] = pruned_by.get(f.name, 0) + 1
                         break
+        for name, count in pruned_by.items():
+            obs.add(f"filters.sound.{name}.pruned_occurrences", count)
 
         survivors = [w for w in warnings if w.survives_sound]
         report.after_sound = len(survivors)
@@ -76,6 +81,7 @@ class FilterPipeline:
                     survivors, f, require_sound_survivor=True
                 )
 
+        downgraded_by: Dict[str, int] = {}
         for warning in survivors:
             for occ in warning.occurrences:
                 if not occ.surviving_sound:
@@ -83,8 +89,20 @@ class FilterPipeline:
                 for f in self.unsound_filters:
                     if f.prunes(occ, warning, self.ctx):
                         occ.downgraded_by = f.name
+                        downgraded_by[f.name] = \
+                            downgraded_by.get(f.name, 0) + 1
                         break
+        for name, count in downgraded_by.items():
+            obs.add(f"filters.unsound.{name}.downgraded_occurrences", count)
         report.after_unsound = len([w for w in survivors if w.survives_all])
+
+        obs.add("filters.potential", report.potential)
+        obs.add("filters.after_sound", report.after_sound)
+        obs.add("filters.after_unsound", report.after_unsound)
+        obs.add("filters.dropped_sound",
+                report.potential - report.after_sound)
+        obs.add("filters.dropped_unsound",
+                report.after_sound - report.after_unsound)
         return report
 
     # -- individual application (Figure 5) ------------------------------------------

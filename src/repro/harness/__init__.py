@@ -1,5 +1,11 @@
 """Experiment drivers that regenerate every table and figure of the paper."""
 
+from .bench import (
+    BENCH_SCHEMA,
+    default_bench_path,
+    run_bench,
+    write_bench,
+)
 from .export import (
     CSV_COLUMNS,
     result_analysis_csv,
@@ -40,7 +46,8 @@ from .table3 import (
 from .timing import render_timing, run_timing, TimingData
 
 __all__ = [
-    "analyze_corpus_app", "build_row", "CSV_COLUMNS", "figure5_app_data",
+    "analyze_corpus_app", "BENCH_SCHEMA", "build_row", "CSV_COLUMNS",
+    "default_bench_path", "run_bench", "write_bench", "figure5_app_data",
     "Figure5Data", "fp_totals", "result_analysis_csv",
     "save_result_analysis", "write_result_analysis",
     "InjectionOutcome", "nadroid_only_true_uafs", "percent",

@@ -1,0 +1,78 @@
+"""``repro bench``: the perf-trajectory benchmark driver.
+
+Runs the corpus through the cached parallel runner and emits a
+``BENCH_<date>.json`` whose schema is documented in
+``docs/observability.md``:
+
+* ``schema`` / ``date`` / ``jobs`` -- provenance,
+* ``apps.<name>.timings`` -- per-stage seconds (lowering, modeling,
+  detection, filtering, total),
+* ``apps.<name>.counters`` -- the deterministic analysis metrics
+  (points-to passes and fact counts, Datalog facts, detector funnel,
+  per-filter drop counts); identical across ``--jobs`` settings,
+* ``apps.<name>.spans`` -- the serialized trace tree,
+* ``totals`` -- timings and counters summed over all apps.
+
+Only durations may differ between two runs over the same corpus; the
+counters are pinned by ``tests/obs/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, List, Optional
+
+from ..corpus import all_apps, AppSpec
+from ..obs import merge_snapshots, write_json
+from ..runner import CorpusRunner
+
+BENCH_SCHEMA = 1
+
+
+def default_bench_path(date: Optional[datetime.date] = None) -> str:
+    date = date or datetime.date.today()
+    return f"BENCH_{date.isoformat()}.json"
+
+
+def run_bench(runner: CorpusRunner,
+              apps: Optional[List[AppSpec]] = None,
+              config=None) -> Dict[str, Any]:
+    """Analyze every app and assemble the benchmark payload."""
+    specs = apps if apps is not None else all_apps()
+    payloads, stats = runner.run(
+        "timing", [spec.name for spec in specs], {"config": config}
+    )
+    metrics = runner.last_metrics
+    per_app: Dict[str, Any] = {}
+    for spec, payload in zip(specs, payloads):
+        snapshot = metrics.apps.get(spec.name) if metrics else None
+        per_app[spec.name] = {
+            "timings": dict(payload["timings"]),
+            "counters": dict(snapshot.counters) if snapshot else {},
+            "gauges": dict(snapshot.gauges) if snapshot else {},
+            "spans": list(snapshot.spans) if snapshot else [],
+        }
+
+    total_timings: Dict[str, float] = {}
+    for entry in per_app.values():
+        for stage, seconds in entry["timings"].items():
+            total_timings[stage] = total_timings.get(stage, 0.0) + seconds
+    merged = merge_snapshots(metrics.apps.values()) if metrics \
+        else merge_snapshots(())
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "jobs": runner.jobs,
+        "run": stats.to_snapshot().to_dict(),
+        "apps": per_app,
+        "totals": {
+            "timings": total_timings,
+            "counters": merged.counters,
+        },
+    }
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> None:
+    """Write the payload canonically (sorted keys, so diffs are clean)."""
+    write_json(path, payload)

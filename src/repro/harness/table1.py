@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
+from .. import obs
 from ..core import AnalysisConfig, analyze_module, AnalysisResult
 from ..corpus import all_apps, AppSpec, FP_CATEGORIES
 from ..race.warnings import PAIR_TYPES
@@ -42,8 +43,11 @@ class Table1Row:
 
 def analyze_corpus_app(spec: AppSpec,
                        config: Optional[AnalysisConfig] = None) -> AnalysisResult:
-    module = spec.compile()
-    return analyze_module(module, spec.manifest_for(module), config)
+    with obs.span("lowering") as sp:
+        module = spec.compile()
+    return analyze_module(
+        module, spec.manifest_for(module), config, extra_spans=[sp]
+    )
 
 
 def build_row(spec: AppSpec, validate: bool = True,

@@ -70,7 +70,11 @@ def _injection_by_id(injection_id: str) -> Injection:
 def table2_app_data(app_name: str,
                     config: Optional[AnalysisConfig] = None) -> Dict:
     """Classify one app's injections (serializable outcome records)."""
-    result = analyze_module(injected_module(app_name), config=config)
+    from .. import obs
+
+    with obs.span("lowering") as sp:
+        module = injected_module(app_name)
+    result = analyze_module(module, config=config, extra_spans=[sp])
     outcomes = []
     for injection in injections_for(app_name):
         candidates = _locate(result, injection)

@@ -1,0 +1,63 @@
+"""repro.obs -- zero-dependency observability for the nAdroid pipeline.
+
+Three layers, all optional at every call site:
+
+* **Spans** (:func:`span`) -- nested wall-clock timing regions forming a
+  trace tree per analysis.  A span always times itself, recorder or not,
+  so :class:`repro.core.AnalysisResult` timings work outside any
+  instrumentation context.
+* **Counters and gauges** (:func:`add`, :func:`set_gauge`) -- named
+  deterministic quantities (fact counts, worklist passes, filter funnel
+  sizes) and non-deterministic measurements (wall seconds).  No-ops when
+  no recorder is installed.
+* **Snapshots** (:class:`MetricsSnapshot`) -- the JSON-serializable view
+  of one recorder, merged across worker processes by the corpus runner.
+
+Determinism contract: nothing here ever writes to stdout; exporters
+target stderr or opt-in files, and counter values depend only on the
+analyzed input, never on scheduling or parallelism.
+
+Typical use::
+
+    recorder = Recorder()
+    with use(recorder):
+        with span("pointsto"):
+            ...
+            add("pointsto.passes", passes)
+    print(render_spans(recorder.snapshot().spans), file=sys.stderr)
+"""
+
+from .recorder import (
+    add,
+    current,
+    Recorder,
+    set_gauge,
+    Span,
+    span,
+    use,
+)
+from .metrics import merge_snapshots, MetricsSnapshot
+from .export import (
+    describe_run,
+    render_metrics,
+    render_spans,
+    snapshot_to_json,
+    write_json,
+)
+
+__all__ = [
+    "add",
+    "current",
+    "describe_run",
+    "merge_snapshots",
+    "MetricsSnapshot",
+    "Recorder",
+    "render_metrics",
+    "render_spans",
+    "set_gauge",
+    "Span",
+    "span",
+    "snapshot_to_json",
+    "use",
+    "write_json",
+]

@@ -1,0 +1,56 @@
+"""Serializable metric snapshots and cross-process merging.
+
+The corpus runner analyzes each app in its own worker process under a
+fresh :class:`repro.obs.Recorder`; the recorder's snapshot travels back
+(and into the result cache) as a plain dict.  :func:`merge_snapshots`
+combines per-app snapshots into corpus totals: counters and gauges are
+summed -- every metric the pipeline records is an additive quantity --
+and span trees are concatenated in input order, so a merged snapshot is
+independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+@dataclass
+class MetricsSnapshot:
+    """One recorder's counters, gauges, and serialized span trees."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    #: span trees as ``Span.to_dict`` payloads (JSON-safe)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "spans": list(self.spans),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            spans=list(data.get("spans", ())),
+        )
+
+    def total_span_seconds(self) -> float:
+        """Summed duration of the top-level spans."""
+        return sum(s.get("duration_s") or 0.0 for s in self.spans)
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Sum counters and gauges; concatenate span trees in input order."""
+    merged = MetricsSnapshot()
+    for snap in snapshots:
+        for name, value in snap.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+        for name, value in snap.gauges.items():
+            merged.gauges[name] = merged.gauges.get(name, 0.0) + value
+        merged.spans.extend(snap.spans)
+    return merged

@@ -18,6 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..analysis.escape import compute_escaping
 from ..analysis.mhp import may_happen_in_parallel
 from ..analysis.pointsto import HeapObject, PointsToResult
@@ -104,6 +105,27 @@ class UafDetector:
 
     # -- detection --------------------------------------------------------------------
 
+    @staticmethod
+    def _record_funnel(events: List[AccessEvent],
+                       warnings: List[UafWarning]) -> None:
+        """Top of the warning funnel: events -> same-field use/free
+        candidate pairs -> potential warnings (instruction pairs)."""
+        uses = sum(1 for e in events if e.kind == USE)
+        frees = len(events) - uses
+        by_field: Dict[Tuple[str, str], List[int]] = defaultdict(
+            lambda: [0, 0]
+        )
+        for event in events:
+            key = (event.fieldref.class_name, event.fieldref.field_name)
+            by_field[key][0 if event.kind == USE else 1] += 1
+        candidate_pairs = sum(u * f for u, f in by_field.values())
+        obs.add("detector.events.use", uses)
+        obs.add("detector.events.free", frees)
+        obs.add("detector.candidate_pairs", candidate_pairs)
+        obs.add("detector.potential_warnings", len(warnings))
+        obs.add("detector.occurrences",
+                sum(len(w.occurrences) for w in warnings))
+
     def detect(self) -> List[UafWarning]:
         if (
             self.options.engine == "datalog"
@@ -148,11 +170,13 @@ class UafDetector:
             warning.occurrences.append(
                 Occurrence(use=use, free=free, pair_type=pair_type)
             )
-        return sorted(
+        result = sorted(
             warnings.values(), key=lambda w: (w.fieldref.class_name,
                                               w.fieldref.field_name,
                                               w.use_uid, w.free_uid)
         )
+        self._record_funnel(events, result)
+        return result
 
     def _detect_imperative(self) -> List[UafWarning]:
         events = collect_access_events(self.program)
@@ -189,11 +213,13 @@ class UafDetector:
                     warning.occurrences.append(
                         Occurrence(use=use, free=free, pair_type=pair_type)
                     )
-        return sorted(
+        result = sorted(
             warnings.values(), key=lambda w: (w.fieldref.class_name,
                                               w.fieldref.field_name,
                                               w.use_uid, w.free_uid)
         )
+        self._record_funnel(events, result)
+        return result
 
 
 def detect_uaf_warnings(

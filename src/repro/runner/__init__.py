@@ -12,7 +12,14 @@ from .cache import (
     default_cache_dir,
     ResultCache,
 )
-from .runner import CorpusRunner, execute_app_task, RunStats, TASK_KINDS
+from .runner import (
+    CorpusRunner,
+    execute_app_task,
+    execute_app_task_observed,
+    RunMetrics,
+    RunStats,
+    TASK_KINDS,
+)
 from .serialize import (
     config_fingerprint,
     result_data_from_dict,
@@ -28,8 +35,9 @@ from .serialize import (
 
 __all__ = [
     "cache_key", "CACHE_SCHEMA", "config_fingerprint", "CorpusRunner",
-    "default_cache_dir", "execute_app_task", "result_data_from_dict",
-    "result_data_to_dict", "result_to_data", "ResultCache", "ResultData",
-    "row_from_dict", "row_to_dict", "RunStats", "TASK_KINDS",
-    "warning_from_dict", "warning_sort_key", "warning_to_dict",
+    "default_cache_dir", "execute_app_task", "execute_app_task_observed",
+    "result_data_from_dict", "result_data_to_dict", "result_to_data",
+    "ResultCache", "ResultData", "row_from_dict", "row_to_dict",
+    "RunMetrics", "RunStats", "TASK_KINDS", "warning_from_dict",
+    "warning_sort_key", "warning_to_dict",
 ]

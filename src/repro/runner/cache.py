@@ -30,7 +30,9 @@ from typing import Any, Dict, Optional
 from .. import __version__
 
 #: bump when the payload layout changes without a package version bump
-CACHE_SCHEMA = 1
+#: (2: entries became ``{"data": ..., "obs": ...}`` envelopes carrying the
+#: per-app metrics snapshot alongside the task payload)
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:

@@ -11,15 +11,23 @@ order and every payload is serialized in a canonical form (warnings sorted
 by :func:`repro.runner.serialize.warning_sort_key`), so a ``--jobs 4`` run
 is byte-identical to a serial run no matter which worker finishes first.
 ``tests/test_runner.py`` pins this property.
+
+Observability: every task executes under a fresh :class:`repro.obs
+.Recorder` whose snapshot (span tree rooted at ``app:<name>`` plus the
+analysis counters) rides back across the process boundary -- and into the
+cache, so cache hits replay the metrics recorded when the entry was
+built.  The runner exposes them as :attr:`CorpusRunner.last_metrics`.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import merge_snapshots, MetricsSnapshot, Recorder
+from ..obs import span as obs_span, use as obs_use
 from .cache import cache_key, ResultCache
 from .serialize import config_fingerprint
 
@@ -79,8 +87,24 @@ TASK_KINDS = tuple(sorted(_TASKS))
 
 def execute_app_task(kind: str, app_name: str,
                      params: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one per-app analysis task; the worker-process entry point."""
+    """Run one per-app analysis task, without instrumentation."""
     return _TASKS[kind](app_name, params)
+
+
+def execute_app_task_observed(kind: str, app_name: str,
+                              params: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process entry point: run one task under a fresh recorder.
+
+    Returns an envelope ``{"data": <task payload>, "obs": <snapshot>}``.
+    The span tree is rooted at ``app:<name>``, so a ``--trace`` render of
+    a ``--jobs N`` run nests each worker's spans under its own app root
+    instead of interleaving them.
+    """
+    recorder = Recorder()
+    with obs_use(recorder):
+        with obs_span(f"app:{app_name}", kind=kind):
+            data = _TASKS[kind](app_name, params)
+    return {"data": data, "obs": recorder.snapshot().to_dict()}
 
 
 def _source_for(kind: str, app_name: str) -> str:
@@ -102,17 +126,51 @@ class RunStats:
     cached: int = 0
     wall_seconds: float = 0.0
     jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
 
     @property
     def total(self) -> int:
         return self.analyzed + self.cached
 
-    def describe(self) -> str:
-        return (
-            f"{self.total} apps ({self.analyzed} analyzed, "
-            f"{self.cached} from cache) in {self.wall_seconds:.2f}s "
-            f"with {self.jobs} job{'s' if self.jobs != 1 else ''}"
+    def to_snapshot(self) -> MetricsSnapshot:
+        """The run's fan-out/cache behaviour as a metrics snapshot --
+        the structured form behind every stderr summary and
+        ``--metrics-out`` payload."""
+        return MetricsSnapshot(
+            counters={
+                "runner.apps.analyzed": self.analyzed,
+                "runner.apps.cached": self.cached,
+                "runner.cache.hits": self.cache_hits,
+                "runner.cache.misses": self.cache_misses,
+                "runner.cache.stores": self.cache_stores,
+            },
+            gauges={
+                "runner.jobs": float(self.jobs),
+                "runner.wall_seconds": self.wall_seconds,
+            },
         )
+
+    def describe(self) -> str:
+        from ..obs import describe_run
+
+        return describe_run(self.to_snapshot())
+
+
+@dataclass
+class RunMetrics:
+    """Observability bundle for one driver invocation."""
+
+    #: fan-out and cache behaviour of the run itself
+    run: MetricsSnapshot
+    #: per-app analysis snapshots, in input-app order (cache hits replay
+    #: the snapshot recorded when the entry was built)
+    apps: Dict[str, MetricsSnapshot] = field(default_factory=dict)
+
+    def totals(self) -> MetricsSnapshot:
+        """Counters/gauges summed over every app in the run."""
+        return merge_snapshots(self.apps.values())
 
 
 class CorpusRunner:
@@ -128,6 +186,7 @@ class CorpusRunner:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.last_stats: Optional[RunStats] = None
+        self.last_metrics: Optional[RunMetrics] = None
 
     @staticmethod
     def _fingerprint(params: Dict[str, Any]) -> Dict[str, Any]:
@@ -152,19 +211,23 @@ class CorpusRunner:
         start = time.perf_counter()
         params = dict(params or {})
         fingerprint = self._fingerprint(params)
+        cache_base = (
+            (self.cache.hits, self.cache.misses, self.cache.stores)
+            if self.cache is not None else (0, 0, 0)
+        )
 
-        results: Dict[str, Dict[str, Any]] = {}
+        envelopes: Dict[str, Dict[str, Any]] = {}
         keys: Dict[str, str] = {}
         pending: List[str] = []
         for name in app_names:
-            if name in results or name in pending:
+            if name in envelopes or name in pending:
                 continue  # duplicate input name: analyze once
             if self.cache is not None:
                 key = cache_key(kind, _source_for(kind, name), fingerprint)
                 keys[name] = key
                 hit = self.cache.lookup(key)
                 if hit is not None:
-                    results[name] = hit
+                    envelopes[name] = hit
                     continue
             pending.append(name)
 
@@ -173,23 +236,38 @@ class CorpusRunner:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
-                        name: pool.submit(execute_app_task, kind, name, params)
+                        name: pool.submit(
+                            execute_app_task_observed, kind, name, params
+                        )
                         for name in pending
                     }
                     for name in pending:
-                        results[name] = futures[name].result()
+                        envelopes[name] = futures[name].result()
             else:
                 for name in pending:
-                    results[name] = execute_app_task(kind, name, params)
+                    envelopes[name] = execute_app_task_observed(
+                        kind, name, params
+                    )
             if self.cache is not None:
                 for name in pending:
-                    self.cache.store(keys[name], results[name])
+                    self.cache.store(keys[name], envelopes[name])
 
         stats = RunStats(
             analyzed=len(pending),
-            cached=len(results) - len(pending),
+            cached=len(envelopes) - len(pending),
             wall_seconds=time.perf_counter() - start,
             jobs=self.jobs,
         )
+        if self.cache is not None:
+            stats.cache_hits = self.cache.hits - cache_base[0]
+            stats.cache_misses = self.cache.misses - cache_base[1]
+            stats.cache_stores = self.cache.stores - cache_base[2]
         self.last_stats = stats
-        return [results[name] for name in app_names], stats
+        self.last_metrics = RunMetrics(
+            run=stats.to_snapshot(),
+            apps={
+                name: MetricsSnapshot.from_dict(envelopes[name]["obs"])
+                for name in app_names if name in envelopes
+            },
+        )
+        return [envelopes[name]["data"] for name in app_names], stats

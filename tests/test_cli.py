@@ -127,3 +127,96 @@ def test_corpus_csv_export_with_runner(tmp_path, capsys):
     content = csv_path.read_text().splitlines()
     assert content[0].startswith("group,app,EC,PC,T")
     assert content[1].startswith("train,todolist,5,0,1")
+
+
+# -- observability (ISSUE 2) --------------------------------------------------
+
+
+def test_corpus_trace_goes_to_stderr_not_stdout(capsys):
+    base = ["corpus", "--apps", "todolist", "--no-cache"]
+    assert main(base) == 0
+    plain = capsys.readouterr()
+    assert main(base + ["--trace"]) == 0
+    traced = capsys.readouterr()
+    assert traced.out == plain.out, "--trace must not touch stdout"
+    assert "app:todolist" in traced.err
+    assert "pointsto" in traced.err
+
+
+def test_corpus_trace_with_jobs_nests_per_app(capsys):
+    code = main(["corpus", "--apps", "todolist", "swiftnotes", "--no-cache",
+                 "--jobs", "2", "--trace"])
+    assert code == 0
+    err = capsys.readouterr().err
+    # each app renders one contiguous tree rooted at app:<name>
+    tree_roots = [line for line in err.splitlines()
+                  if line.startswith("app:")]
+    assert tree_roots[0].startswith("app:todolist")
+    assert tree_roots[1].startswith("app:swiftnotes")
+
+
+def test_corpus_metrics_out_includes_cache_counters(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    cache_dir = tmp_path / "cache"
+    args = ["corpus", "--apps", "todolist", "--cache-dir", str(cache_dir),
+            "--metrics-out", str(metrics_path)]
+    assert main(args) == 0
+    capsys.readouterr()
+    import json
+
+    payload = json.loads(metrics_path.read_text())
+    assert payload["run"]["counters"]["runner.cache.misses"] == 1
+    assert payload["run"]["counters"]["runner.cache.hits"] == 0
+    assert "pointsto.passes" in payload["apps"]["todolist"]["counters"]
+    assert "funnel.potential" in payload["totals"]["counters"]
+
+    assert main(args) == 0
+    capsys.readouterr()
+    warm = json.loads(metrics_path.read_text())
+    assert warm["run"]["counters"]["runner.cache.hits"] == 1
+    # cached entries replay the recorded analysis counters
+    assert warm["apps"]["todolist"]["counters"] \
+        == payload["apps"]["todolist"]["counters"]
+
+
+def test_analyze_trace_and_metrics_out(app_file, tmp_path, capsys):
+    metrics_path = tmp_path / "analyze.json"
+    code = main(["analyze", app_file, "--trace",
+                 "--metrics-out", str(metrics_path)])
+    assert code == 1  # warnings remain, same as without flags
+    captured = capsys.readouterr()
+    assert "lowering" in captured.err and "detection" in captured.err
+    assert "lowering" not in captured.out
+    import json
+
+    payload = json.loads(metrics_path.read_text())
+    assert "detector.potential_warnings" in payload["counters"]
+
+
+def test_bench_writes_schema_documented_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["bench", "--apps", "todolist", "swiftnotes",
+                 "--jobs", "2", "--out", "bench.json"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""  # bench output is the file, not stdout
+    assert "[bench] wrote bench.json" in captured.err
+    import json
+
+    payload = json.loads((tmp_path / "bench.json").read_text())
+    assert payload["schema"] == 1
+    assert payload["jobs"] == 2
+    assert set(payload["apps"]) == {"todolist", "swiftnotes"}
+    assert payload["apps"]["todolist"]["timings"]["total"] > 0
+
+
+def test_bench_default_filename_carries_date(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["bench", "--apps", "todolist"])
+    assert code == 0
+    capsys.readouterr()
+    import re
+
+    names = [p.name for p in tmp_path.glob("BENCH_*.json")]
+    assert len(names) == 1
+    assert re.fullmatch(r"BENCH_\d{4}-\d{2}-\d{2}\.json", names[0])
