@@ -77,8 +77,21 @@ class LocksetAnalysis:
         at both points -- the must-alias condition that makes the common
         lock sound.
         """
+        return self.common_lock_witness(uid_a, uid_b) is not None
+
+    def common_lock_witness(self, uid_a: int,
+                            uid_b: int) -> Optional[HeapObject]:
+        """The common must-held singleton lock object, when one exists.
+
+        Same condition as :meth:`common_lock`, but names the witness: the
+        smallest (lexicographically) shared abstract lock, so filter
+        provenance can report *which* lock made a guard trustworthy.
+        """
         locks_a = self.locks_at(uid_a)
         locks_b = self.locks_at(uid_b)
         singletons_a = {next(iter(t)) for t in locks_a if len(t) == 1}
         singletons_b = {next(iter(t)) for t in locks_b if len(t) == 1}
-        return bool(singletons_a & singletons_b)
+        shared = singletons_a & singletons_b
+        if not shared:
+            return None
+        return min(shared)

@@ -3,6 +3,8 @@
 Subcommands:
 
 * ``analyze FILE...``  -- run the full pipeline on MiniDroid sources
+* ``explain FILE...``  -- full per-warning provenance (section 7 reports)
+* ``diff OLD NEW``     -- compare two report JSONs; the regression gate
 * ``simulate FILE...`` -- execute an app under a random event schedule
 * ``corpus``           -- Table 1 over the 27-app corpus
 * ``figure5``          -- filter-effectiveness study
@@ -15,6 +17,11 @@ Observability (``docs/observability.md``): every corpus subcommand and
 ``analyze`` accept ``--trace`` (span tree on stderr) and
 ``--metrics-out PATH`` (deterministic JSON).  Observability output never
 touches stdout, which stays byte-stable across ``--jobs`` settings.
+
+Reporting (``docs/reporting.md``): ``analyze``, ``explain`` and
+``corpus`` accept ``--report-out PATH`` (deterministic report JSON) and
+``--sarif-out PATH`` (SARIF 2.1.0); ``diff`` compares two report files
+and exits non-zero under ``--fail-on-new`` when a regression appears.
 """
 
 from __future__ import annotations
@@ -117,6 +124,44 @@ def _emit_observability(args, runner) -> None:
         print(f"[obs] wrote {out}", file=sys.stderr)
 
 
+def _emit_report_outputs(args, report) -> None:
+    """Honor --report-out / --sarif-out for an AnalysisReport."""
+    out = getattr(args, "report_out", None)
+    if out:
+        from .report import write_report
+
+        try:
+            write_report(report, out)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot write report to {out}: {reason}") from exc
+        print(f"[report] wrote {out}", file=sys.stderr)
+    out = getattr(args, "sarif_out", None)
+    if out:
+        from .report import write_sarif
+
+        try:
+            write_sarif(report, out)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot write SARIF to {out}: {reason}") from exc
+        print(f"[sarif] wrote {out}", file=sys.stderr)
+
+
+def _single_app_report(args, result, recorder):
+    """The one-app AnalysisReport behind analyze/explain outputs."""
+    from .report import build_app_report, build_report
+
+    return build_report([
+        build_app_report(
+            "app",
+            result,
+            source=args.files[0],
+            metrics=recorder.snapshot() if recorder is not None else None,
+        )
+    ])
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from . import obs
     from .core import analyze_app, AnalysisConfig
@@ -149,6 +194,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 f"cannot write metrics to {args.metrics_out}: {reason}"
             ) from exc
         print(f"[obs] wrote {args.metrics_out}", file=sys.stderr)
+    if args.report_out or args.sarif_out:
+        _emit_report_outputs(args, _single_app_report(args, result, recorder))
     counts = result.counts()
     print(f"modeled threads : EC={counts['EC']} PC={counts['PC']} "
           f"T={counts['T']}")
@@ -176,6 +223,62 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                   f"({verdict.schedules_tried} schedules)")
         print()
     return 0 if not result.remaining() else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from . import obs
+    from .core import analyze_app, AnalysisConfig
+    from .race.detector import DetectorOptions
+    from .report import render_app_explanations
+
+    config = AnalysisConfig(
+        k=args.k,
+        detector=DetectorOptions(engine=args.engine),
+    )
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        result = analyze_app(_read_sources(args.files), config=config)
+    report = _single_app_report(args, result, recorder)
+    app_report = report.apps["app"]
+    by_status = {s: len(ws) for s, ws in app_report.by_status().items()}
+    print(f"{len(app_report.warnings)} potential warning(s): "
+          f"{by_status['remaining']} remaining, "
+          f"{by_status['downgraded']} downgraded, "
+          f"{by_status['pruned']} pruned")
+    text = render_app_explanations(
+        app_report, statuses=args.status or None
+    )
+    if text:
+        print()
+        print(text)
+    _emit_report_outputs(args, report)
+    return 0 if not result.remaining() else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .report import (
+        diff_reports, exit_code, load_report, render_diff, REPORT_SCHEMA,
+    )
+
+    payloads = []
+    for path in (args.old, args.new):
+        try:
+            payload = load_report(path)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot read {path}: {reason}") from exc
+        except ValueError as exc:
+            raise CliError(f"{path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != REPORT_SCHEMA:
+            raise CliError(
+                f"{path} is not a nadroid report "
+                f"(expected schema {REPORT_SCHEMA})"
+            )
+        payloads.append(payload)
+    diff = diff_reports(payloads[0], payloads[1])
+    print(render_diff(diff))
+    return exit_code(diff, args.fail_on_new)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -212,6 +315,19 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     )
     _report_stats(runner)
     _emit_observability(args, runner)
+    if args.report_out or args.sarif_out:
+        from .report import build_app_report, build_report
+
+        metrics = runner.last_metrics
+        per_app = metrics.apps if metrics is not None else {}
+        report = build_report([
+            build_app_report(
+                row.app.name, row.result,
+                metrics=per_app.get(row.app.name),
+            )
+            for row in rows
+        ])
+        _emit_report_outputs(args, report)
     print(render_table1(rows))
     if args.validate:
         print(f"\ntrue harmful UAFs: {total_true_harmful(rows)}")
@@ -314,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_report_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--report-out", metavar="PATH",
+                       help="write the full warning report (witnesses, "
+                            "lineage, metrics) as JSON to PATH")
+        p.add_argument("--sarif-out", metavar="PATH",
+                       help="write remaining + downgraded warnings as "
+                            "SARIF 2.1.0 to PATH")
+
     p = sub.add_parser("analyze", help="analyze MiniDroid sources")
     p.add_argument("files", nargs="+", help="MiniDroid (.mjava) source files")
     p.add_argument("--k", type=int, default=2,
@@ -329,7 +453,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-stage", action="append", metavar="STAGE",
                    help="cProfile a pipeline stage (e.g. pointsto, "
                         "detect); repeatable; report goes to stderr")
+    _add_report_flags(p)
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "explain",
+        help="explain every warning: lineage, witnesses, filter trail",
+    )
+    p.add_argument("files", nargs="+", help="MiniDroid (.mjava) source files")
+    p.add_argument("--k", type=int, default=2,
+                   help="k for k-object-sensitive points-to (default 2)")
+    p.add_argument("--engine", choices=("datalog", "imperative"),
+                   default="datalog", help="race-pair solver backend")
+    p.add_argument("--status", action="append", metavar="STATUS",
+                   choices=("remaining", "downgraded", "pruned"),
+                   help="only explain warnings with this status "
+                        "(repeatable; default: all)")
+    _add_report_flags(p)
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser(
+        "diff",
+        help="diff two report JSONs (the regression gate)",
+    )
+    p.add_argument("old", help="baseline report JSON (e.g. the golden file)")
+    p.add_argument("new", help="candidate report JSON")
+    p.add_argument("--fail-on-new", action="store_true",
+                   help="exit 1 when NEW has remaining warnings that OLD "
+                        "did not (new or changed-to-remaining)")
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser("simulate", help="run an app under a random schedule")
     p.add_argument("files", nargs="+")
@@ -366,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--apps", nargs="+", metavar="NAME",
                    help="restrict to these corpus apps (default: all 27)")
     _add_runner_flags(p)
+    _add_report_flags(p)
     p.set_defaults(fn=cmd_corpus)
 
     for name, fn, help_text in (
@@ -398,6 +551,14 @@ def main(argv: List[str] = None) -> int:
     except CliError as exc:
         print(f"nadroid: error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head/less); die quietly,
+        # redirecting stdout so the interpreter's shutdown flush cannot
+        # raise a second time
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

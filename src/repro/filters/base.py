@@ -1,14 +1,22 @@
-"""Filter framework: context object and base class (paper section 6)."""
+"""Filter framework: context object and base class (paper section 6).
+
+Every filter justifies its decisions: :meth:`Filter.witness` returns a
+:class:`repro.race.warnings.Witness` naming *why* an occurrence is pruned
+(the HB edge, the common lock, the allocation site, ...), and
+:meth:`Filter.prunes` is derived from it, so a prune can never happen
+without a recordable reason.  The pipeline attaches the witness to the
+occurrence; reports render it as the per-occurrence decision trail.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..analysis.lockset import LocksetAnalysis
 from ..analysis.pointsto import PointsToResult
 from ..ir import Method, Module
-from ..race.warnings import Occurrence, UafWarning
+from ..race.warnings import Occurrence, UafWarning, Witness
 from ..threadify.model import ThreadNode
 from ..threadify.transform import ThreadifiedProgram
 from .guards import AllocAnalysis, GuardAnalysis
@@ -87,13 +95,26 @@ class FilterContext:
         under the single-looper assumption), or when both accesses hold a
         common lock.
         """
+        return self.atomicity_witness(occ) is not None
+
+    def atomicity_witness(self, occ: Occurrence) -> Optional[Dict[str, Any]]:
+        """The reason the use is atomic w.r.t. the free, when one exists.
+
+        ``{"kind": "same-looper", "looper": ...}`` under the
+        single-looper assumption, or ``{"kind": "common-lock",
+        "lock": <abstract lock object>}`` when a singleton lock is
+        must-held at both accesses.
+        """
         use_node, free_node = self.nodes_of(occ)
         if (
             self.options.assume_single_looper
             and self.program.forest.same_looper(use_node, free_node)
         ):
-            return True
-        return self.lockset.common_lock(occ.use.uid, occ.free.uid)
+            return {"kind": "same-looper", "looper": use_node.looper}
+        lock = self.lockset.common_lock_witness(occ.use.uid, occ.free.uid)
+        if lock is not None:
+            return {"kind": "common-lock", "lock": list(lock)}
+        return None
 
     def component_kind(self, component: Optional[str]) -> Optional[str]:
         if component is None:
@@ -103,11 +124,31 @@ class FilterContext:
 
 
 class Filter:
-    """One pruning rule.  ``prunes`` must be side-effect free."""
+    """One pruning rule.
+
+    Subclasses implement :meth:`witness`, which must be side-effect free:
+    return the :class:`Witness` justifying the prune, or ``None`` when the
+    occurrence stays.  ``prunes`` is the boolean view the Figure 5
+    individual-application counters use.
+    """
 
     name: str = "base"
     sound: bool = True
 
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
+        if type(self).prunes is not Filter.prunes:
+            # Legacy subclass implementing only the boolean ``prunes``
+            # (e.g. user extensions): wrap its verdict generically so the
+            # decision trail never loses a prune.
+            if self.prunes(occ, warning, ctx):
+                return Witness(kind="filter",
+                               detail=f"pruned by custom filter {self.name}")
+            return None
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither witness() nor prunes()"
+        )
+
     def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:  # pragma: no cover - abstract
-        raise NotImplementedError
+               ctx: FilterContext) -> bool:
+        return self.witness(occ, warning, ctx) is not None

@@ -306,14 +306,42 @@ class AllocAnalysis:
 
     def allocated_at(self, uid: int, base: str, cls: str, name: str,
                      allow_calls: bool = False) -> bool:
+        return self.allocation_witness(uid, base, cls, name,
+                                       allow_calls=allow_calls) is not None
+
+    def allocation_witness(self, uid: int, base: str, cls: str, name: str,
+                           allow_calls: bool = False
+                           ) -> Optional[Tuple[str, List[Dict[str, int]]]]:
+        """The allocation fact justifying an IA/MA prune at ``uid``.
+
+        Returns ``(source, store_sites)`` -- the must-fact's value source
+        (``"new"`` or ``"call"``) and the in-method store sites compatible
+        with it (uid + line of each ``PutField`` on the field whose value
+        has that source), or ``None`` when no fact covers the use.  The
+        ``"new"`` fact wins when both are present, matching
+        :meth:`allocated_at`'s soundness preference.
+        """
         canonical = self.symbols.path_of(base) or base
         state = self._in_states.get(uid, frozenset())
+        matched: Optional[str] = None
         for fact_base, fact_cls, fact_name, source in state:
             if (fact_base, fact_cls, fact_name) != (canonical, cls, name):
                 continue
-            if source == "new" or (allow_calls and source == "call"):
-                return True
-        return False
+            if source == "new":
+                matched = "new"
+                break
+            if allow_calls and source == "call":
+                matched = "call"
+        if matched is None:
+            return None
+        sites = [
+            {"uid": instr.uid, "line": instr.line}
+            for instr in self.method.instructions()
+            if isinstance(instr, PutField)
+            and _field_key(self.module, instr.fieldref) == (cls, name)
+            and self._value_source(instr.value) == matched
+        ]
+        return matched, sites
 
 
 def deref_consumer_uids(method: Method, use_uid: int) -> List[int]:

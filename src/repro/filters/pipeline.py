@@ -63,11 +63,15 @@ class FilterPipeline:
                 )
 
         pruned_by: Dict[str, int] = {}
+        witnesses = 0
         for warning in warnings:
             for occ in warning.occurrences:
                 for f in self.sound_filters:
-                    if f.prunes(occ, warning, self.ctx):
+                    witness = f.witness(occ, warning, self.ctx)
+                    if witness is not None:
                         occ.pruned_by = f.name
+                        occ.witness = witness
+                        witnesses += 1
                         pruned_by[f.name] = pruned_by.get(f.name, 0) + 1
                         break
         for name, count in pruned_by.items():
@@ -87,13 +91,17 @@ class FilterPipeline:
                 if not occ.surviving_sound:
                     continue
                 for f in self.unsound_filters:
-                    if f.prunes(occ, warning, self.ctx):
+                    witness = f.witness(occ, warning, self.ctx)
+                    if witness is not None:
                         occ.downgraded_by = f.name
+                        occ.witness = witness
+                        witnesses += 1
                         downgraded_by[f.name] = \
                             downgraded_by.get(f.name, 0) + 1
                         break
         for name, count in downgraded_by.items():
             obs.add(f"filters.unsound.{name}.downgraded_occurrences", count)
+        obs.add("report.witnesses.filter", witnesses)
         report.after_unsound = len([w for w in survivors if w.survives_all])
 
         obs.add("filters.potential", report.potential)

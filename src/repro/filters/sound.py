@@ -1,6 +1,15 @@
-"""Sound filters (paper section 6.1): MHB, If-Guard, Intra-Allocation."""
+"""Sound filters (paper section 6.1): MHB, If-Guard, Intra-Allocation.
+
+Each filter returns a :class:`repro.race.warnings.Witness` naming the
+evidence for its prune -- the specific MHB edge (source contract plus
+endpoint callbacks), the guard fact and its atomicity premise, or the
+allocation fact and store sites -- so every decision is explainable in
+the section-7 report.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 from ..android.callbacks import CallbackCategory, SYSTEM_CALLBACKS, UI_CALLBACKS
 from ..android.lifecycle import (
@@ -9,10 +18,28 @@ from ..android.lifecycle import (
     SERVICE_CONNECTION_MHB,
     SERVICE_MHB,
 )
-from ..race.warnings import Occurrence, UafWarning
+from ..race.warnings import Occurrence, UafWarning, Witness
 from .base import Filter, FilterContext
 
 _NON_LIFECYCLE_CALLBACKS = UI_CALLBACKS | SYSTEM_CALLBACKS
+
+
+def _mhb_witness(edge: str, use_node, free_node, **extra) -> Witness:
+    """An MHB edge witness: which contract orders which two callbacks."""
+    data = {
+        "edge": edge,
+        "use_callback": f"{use_node.receiver_class}.{use_node.method_name}",
+        "free_callback": f"{free_node.receiver_class}.{free_node.method_name}",
+        "use_node": use_node.node_id,
+        "free_node": free_node.node_id,
+        **extra,
+    }
+    return Witness(
+        kind="mhb-edge",
+        detail=(f"{edge}: {use_node.method_name} must happen before "
+                f"{free_node.method_name}"),
+        data=data,
+    )
 
 
 class MustHappenBeforeFilter(Filter):
@@ -27,8 +54,8 @@ class MustHappenBeforeFilter(Filter):
     name = "MHB"
     sound = True
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use_node, free_node = ctx.nodes_of(occ)
         use_cb = use_node.method_name
         free_cb = free_node.method_name
@@ -41,7 +68,8 @@ class MustHappenBeforeFilter(Filter):
             and use_node.group_key == free_node.group_key
             and (use_cb, free_cb) in SERVICE_CONNECTION_MHB
         ):
-            return True
+            return _mhb_witness("MHB-Service", use_node, free_node,
+                                group=use_node.group_key)
 
         # MHB-AsyncTask.
         if (
@@ -50,7 +78,8 @@ class MustHappenBeforeFilter(Filter):
             and use_node.group_key.startswith("task:")
             and (use_cb, free_cb) in ASYNCTASK_MHB
         ):
-            return True
+            return _mhb_witness("MHB-AsyncTask", use_node, free_node,
+                                group=use_node.group_key)
 
         # MHB-Lifecycle: both callbacks belong to the same component.
         if (
@@ -62,11 +91,15 @@ class MustHappenBeforeFilter(Filter):
             kind = ctx.component_kind(use_node.component)
             if kind in ("activity", "application"):
                 if activity_mhb(use_cb, free_cb, _NON_LIFECYCLE_CALLBACKS):
-                    return True
+                    return _mhb_witness("MHB-Lifecycle", use_node, free_node,
+                                        component=use_node.component,
+                                        component_kind=kind)
             elif kind == "service":
                 if (use_cb, free_cb) in SERVICE_MHB:
-                    return True
-        return False
+                    return _mhb_witness("MHB-Lifecycle", use_node, free_node,
+                                        component=use_node.component,
+                                        component_kind=kind)
+        return None
 
 
 class IfGuardFilter(Filter):
@@ -77,25 +110,41 @@ class IfGuardFilter(Filter):
     name = "IG"
     sound = True
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use = occ.use
         if use.base_local is None:
-            return False  # static-field guards are not tracked
+            return None  # static-field guards are not tracked
         method = ctx._method(use.method_qname)
         from .guards import use_is_pure_check
 
+        field = f"{use.fieldref.class_name}.{use.fieldref.field_name}"
         if use_is_pure_check(ctx.module, method, use.uid):
             # the read *is* the guard: its value only feeds null
             # comparisons and can never be dereferenced
-            return True
+            return Witness(
+                kind="guard",
+                detail=(f"read of {field} at line {use.line} is itself a "
+                        "null check; its value is never dereferenced"),
+                data={"guard": "pure-check", "field": field,
+                      "use_line": use.line},
+            )
         guards = ctx.guards(use.method_qname)
         if not guards.use_protected(
             use.uid, use.base_local,
             use.fieldref.class_name, use.fieldref.field_name,
         ):
-            return False
-        return ctx.atomic_with_respect_to(occ)
+            return None
+        atomicity = ctx.atomicity_witness(occ)
+        if atomicity is None:
+            return None
+        return Witness(
+            kind="guard",
+            detail=(f"use of {field} at line {use.line} sits behind a "
+                    f"null check, atomic via {atomicity['kind']}"),
+            data={"guard": "null-check", "field": field,
+                  "use_line": use.line, "atomicity": atomicity},
+        )
 
 
 class IntraAllocationFilter(Filter):
@@ -107,19 +156,32 @@ class IntraAllocationFilter(Filter):
     name = "IA"
     sound = True
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use = occ.use
         if use.base_local is None:
-            return False
+            return None
         allocs = ctx.allocs(use.method_qname)
-        if not allocs.allocated_at(
+        found = allocs.allocation_witness(
             use.uid, use.base_local,
             use.fieldref.class_name, use.fieldref.field_name,
             allow_calls=False,
-        ):
-            return False
-        return ctx.atomic_with_respect_to(occ)
+        )
+        if found is None:
+            return None
+        atomicity = ctx.atomicity_witness(occ)
+        if atomicity is None:
+            return None
+        source, sites = found
+        field = f"{use.fieldref.class_name}.{use.fieldref.field_name}"
+        lines = ", ".join(str(s["line"]) for s in sites) or "?"
+        return Witness(
+            kind="allocation",
+            detail=(f"{field} must hold a fresh `new` stored at "
+                    f"line(s) {lines} before the use at line {use.line}"),
+            data={"source": source, "field": field, "use_line": use.line,
+                  "store_sites": sites, "atomicity": atomicity},
+        )
 
 
 SOUND_FILTERS = (MustHappenBeforeFilter(), IfGuardFilter(), IntraAllocationFilter())

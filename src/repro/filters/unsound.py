@@ -9,12 +9,12 @@ interpretation).
 
 from __future__ import annotations
 
-from typing import Set
+from typing import List, Optional, Set
 
 from ..android.api import ApiKind, CANCEL_KINDS
 from ..android.callbacks import CallbackCategory
 from ..ir import Const, Local, PutField
-from ..race.warnings import Occurrence, UafWarning
+from ..race.warnings import Occurrence, UafWarning, Witness
 from ..threadify.model import ThreadNode
 from ..threadify.resolve import resolve_local_classes
 from .base import Filter, FilterContext
@@ -31,19 +31,19 @@ class ResumeHappensBeforeFilter(Filter):
     name = "RHB"
     sound = False
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use_node, free_node = ctx.nodes_of(occ)
         if free_node.method_name != "onPause":
-            return False
+            return None
         if use_node.category not in _UI_LIKE:
-            return False
+            return None
         component = free_node.component
         if component is None or use_node.component != component:
-            return False
+            return None
         on_resume = ctx.module.resolve_method(component, "onResume")
         if on_resume is None or not on_resume.cfg.blocks:
-            return False
+            return None
         field = occ.use.fieldref
         for instr in on_resume.instructions():
             if not isinstance(instr, PutField):
@@ -56,8 +56,19 @@ class ResumeHappensBeforeFilter(Filter):
             ):
                 continue
             if not (isinstance(instr.value, Const) and instr.value.is_null()):
-                return True  # may-allocation on some path: assume safe
-        return False
+                # may-allocation on some path: assume safe
+                qname = on_resume.qualified_name
+                return Witness(
+                    kind="resume-hb",
+                    detail=(f"{qname} (line {instr.line}) may reallocate "
+                            f"{field.class_name}.{field.field_name} before "
+                            "the UI callback re-fires"),
+                    data={"edge": "Resume-HB",
+                          "reallocation_method": qname,
+                          "reallocation_line": instr.line,
+                          "component": component},
+                )
+        return None
 
 
 class CancelHappensBeforeFilter(Filter):
@@ -68,24 +79,40 @@ class CancelHappensBeforeFilter(Filter):
     name = "CHB"
     sound = False
 
-    def _cancel_kinds_in_region(self, ctx: FilterContext,
-                                node: ThreadNode) -> Set[ApiKind]:
+    def _cancel_sites_in_region(self, ctx: FilterContext,
+                                node: ThreadNode) -> List:
         region = ctx.program.regions.get(node.node_id, set())
-        kinds: Set[ApiKind] = set()
-        for site in ctx.program.api_sites.values():
-            if site.spec.kind in CANCEL_KINDS \
-                    and site.qualified_caller in region:
-                kinds.add(site.spec.kind)
-        return kinds
+        return [
+            site for _, site in sorted(ctx.program.api_sites.items())
+            if site.spec.kind in CANCEL_KINDS
+            and site.qualified_caller in region
+        ]
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    @staticmethod
+    def _witness_for(kind: ApiKind, sites, use_node: ThreadNode,
+                     stops: str) -> Witness:
+        site = next(s for s in sites if s.spec.kind is kind)
+        callback = f"{use_node.receiver_class}.{use_node.method_name}"
+        return Witness(
+            kind="cancel-hb",
+            detail=(f"{kind.name.lower()} call in "
+                    f"{site.qualified_caller} (line {site.invoke.line}) "
+                    f"stops {stops}, so {callback} cannot run afterwards"),
+            data={"edge": "Cancel-HB", "api": kind.name,
+                  "cancel_site": site.qualified_caller,
+                  "cancel_line": site.invoke.line,
+                  "cancelled_callback": callback},
+        )
+
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use_node, free_node = ctx.nodes_of(occ)
         if not use_node.is_callback:
-            return False  # cancellation cannot stop a running native thread
-        kinds = self._cancel_kinds_in_region(ctx, free_node)
+            return None  # cancellation cannot stop a running native thread
+        sites = self._cancel_sites_in_region(ctx, free_node)
+        kinds = {site.spec.kind for site in sites}
         if not kinds:
-            return False
+            return None
         category = use_node.category
         finish_cancellable = category in _UI_LIKE or (
             category is CallbackCategory.LIFECYCLE
@@ -101,29 +128,45 @@ class CancelHappensBeforeFilter(Filter):
                 use_node.component is not None
                 and use_node.component == free_node.component
             ):
-                return True
+                return self._witness_for(
+                    ApiKind.CANCEL_FINISH, sites, use_node,
+                    f"the {use_node.component} activity's callbacks",
+                )
         if ApiKind.CANCEL_UNBIND in kinds \
                 and category is CallbackCategory.SERVICE_CONN:
-            return True
+            return self._witness_for(ApiKind.CANCEL_UNBIND, sites, use_node,
+                                     "the service connection")
         if ApiKind.CANCEL_UNREGISTER in kinds and category in (
             CallbackCategory.RECEIVER, CallbackCategory.UI,
             CallbackCategory.SYSTEM,
         ):
             if category is CallbackCategory.RECEIVER:
-                return True
+                return self._witness_for(
+                    ApiKind.CANCEL_UNREGISTER, sites, use_node,
+                    "the broadcast receiver",
+                )
             # removeUpdates / unregisterListener: match the listener class.
             if self._unregisters_class(ctx, free_node, use_node.receiver_class):
-                return True
+                return self._witness_for(
+                    ApiKind.CANCEL_UNREGISTER, sites, use_node,
+                    f"the {use_node.receiver_class} listener",
+                )
         if ApiKind.CANCEL_REMOVE_POSTS in kinds and category in (
             CallbackCategory.POSTED_RUNNABLE, CallbackCategory.HANDLER_MESSAGE,
         ):
-            return True
+            return self._witness_for(
+                ApiKind.CANCEL_REMOVE_POSTS, sites, use_node,
+                "pending posts on the handler",
+            )
         if ApiKind.CANCEL_ASYNCTASK in kinds and category in (
             CallbackCategory.ASYNC_PRE, CallbackCategory.ASYNC_PROGRESS,
             CallbackCategory.ASYNC_POST,
         ):
-            return True
-        return False
+            return self._witness_for(
+                ApiKind.CANCEL_ASYNCTASK, sites, use_node,
+                "the AsyncTask's remaining callbacks",
+            )
+        return None
 
     def _unregisters_class(self, ctx: FilterContext, free_node: ThreadNode,
                            listener_class: str) -> bool:
@@ -156,13 +199,31 @@ class PostHappensBeforeFilter(Filter):
     name = "PHB"
     sound = False
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use_node, free_node = ctx.nodes_of(occ)
         if not ctx.program.forest.same_looper(use_node, free_node):
-            return False
-        return free_node in use_node.ancestors() \
-            or use_node in free_node.ancestors()
+            return None
+        if free_node in use_node.ancestors():
+            poster, postee = free_node, use_node
+        elif use_node in free_node.ancestors():
+            poster, postee = use_node, free_node
+        else:
+            return None
+        return Witness(
+            kind="post-hb",
+            detail=(f"{poster.receiver_class}.{poster.method_name} posts "
+                    f"{postee.receiver_class}.{postee.method_name} on the "
+                    f"{use_node.looper!r} looper: the poster completes "
+                    "before its postee runs"),
+            data={"edge": "Post-HB",
+                  "poster": f"{poster.receiver_class}.{poster.method_name}",
+                  "postee": f"{postee.receiver_class}.{postee.method_name}",
+                  "poster_node": poster.node_id,
+                  "postee_node": postee.node_id,
+                  "post_site": postee.post_site,
+                  "looper": use_node.looper},
+        )
 
 
 class MaybeAllocationFilter(Filter):
@@ -172,19 +233,34 @@ class MaybeAllocationFilter(Filter):
     name = "MA"
     sound = False
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use = occ.use
         if use.base_local is None:
-            return False
+            return None
         allocs = ctx.allocs(use.method_qname)
-        if not allocs.allocated_at(
+        found = allocs.allocation_witness(
             use.uid, use.base_local,
             use.fieldref.class_name, use.fieldref.field_name,
             allow_calls=True,
-        ):
-            return False
-        return ctx.atomic_with_respect_to(occ)
+        )
+        if found is None:
+            return None
+        atomicity = ctx.atomicity_witness(occ)
+        if atomicity is None:
+            return None
+        source, sites = found
+        field = f"{use.fieldref.class_name}.{use.fieldref.field_name}"
+        origin = "a fresh `new`" if source == "new" \
+            else "a getter result (assumed non-null)"
+        lines = ", ".join(str(s["line"]) for s in sites) or "?"
+        return Witness(
+            kind="allocation",
+            detail=(f"{field} holds {origin} stored at line(s) {lines} "
+                    f"before the use at line {use.line}"),
+            data={"source": source, "field": field, "use_line": use.line,
+                  "store_sites": sites, "atomicity": atomicity},
+        )
 
 
 class UsedForReturnFilter(Filter):
@@ -194,14 +270,24 @@ class UsedForReturnFilter(Filter):
     name = "UR"
     sound = False
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use = occ.use
         class_name, method_name = use.method_qname.rsplit(".", 1)
         method = ctx.module.lookup_method(class_name, method_name)
         if method is None:
-            return False
-        return use_is_benign(ctx.module, method, use.uid)
+            return None
+        if not use_is_benign(ctx.module, method, use.uid):
+            return None
+        field = f"{use.fieldref.class_name}.{use.fieldref.field_name}"
+        return Witness(
+            kind="return-use",
+            detail=(f"value read from {field} at line {use.line} in "
+                    f"{use.method_qname} is only returned, passed as an "
+                    "argument or null-compared -- never dereferenced"),
+            data={"field": field, "use_method": use.method_qname,
+                  "use_line": use.line, "use_uid": use.uid},
+        )
 
 
 class ThreadThreadFilter(Filter):
@@ -211,10 +297,24 @@ class ThreadThreadFilter(Filter):
     name = "TT"
     sound = False
 
-    def prunes(self, occ: Occurrence, warning: UafWarning,
-               ctx: FilterContext) -> bool:
+    def witness(self, occ: Occurrence, warning: UafWarning,
+                ctx: FilterContext) -> Optional[Witness]:
         use_node, free_node = ctx.nodes_of(occ)
-        return use_node.is_native and free_node.is_native
+        if not (use_node.is_native and free_node.is_native):
+            return None
+        return Witness(
+            kind="thread-thread",
+            detail=(f"both sides run on native threads "
+                    f"({use_node.receiver_class}.{use_node.method_name} vs "
+                    f"{free_node.receiver_class}.{free_node.method_name}); "
+                    "no looper is involved"),
+            data={"use_thread":
+                  f"{use_node.receiver_class}.{use_node.method_name}",
+                  "free_thread":
+                  f"{free_node.receiver_class}.{free_node.method_name}",
+                  "use_node": use_node.node_id,
+                  "free_node": free_node.node_id},
+        )
 
 
 UNSOUND_FILTERS = (

@@ -24,7 +24,7 @@ from ..analysis.mhp import may_happen_in_parallel
 from ..analysis.pointsto import HeapObject, PointsToResult
 from ..threadify.transform import ThreadifiedProgram
 from .events import AccessEvent, collect_access_events, FREE, USE
-from .warnings import classify_pair, Occurrence, UafWarning
+from .warnings import classify_pair, Occurrence, UafWarning, Witness
 
 
 @dataclass
@@ -86,6 +86,43 @@ class UafDetector:
             return bool(overlap & self._escaping_objects())
         return True
 
+    def _alias_witness(self, use: AccessEvent, free: AccessEvent) -> Witness:
+        """Why the two accesses can touch the same storage (section 7's
+        points-to provenance: abstract field plus allocation contexts)."""
+        field = f"{use.fieldref.class_name}.{use.fieldref.field_name}"
+        if use.is_static:
+            return Witness(
+                kind="static-field",
+                detail=(f"static field {field}: both accesses resolve to "
+                        "the same storage by name"),
+                data={"field": field},
+            )
+        overlap = self._base_objects(use) & self._base_objects(free)
+        objects = sorted("/".join(obj) for obj in overlap)
+        return Witness(
+            kind="points-to",
+            detail=(f"use and free bases may alias on {field}: "
+                    f"{len(objects)} shared abstract object(s) under "
+                    f"{self.pointsto.k}-object-sensitivity"),
+            data={"field": field, "objects": objects},
+        )
+
+    def _make_occurrence(self, use: AccessEvent,
+                         free: AccessEvent) -> Occurrence:
+        """One provenance-carrying occurrence: pair category, both
+        poster->postee lineage chains, and the aliasing witness."""
+        forest = self.program.forest
+        use_node = forest.node(use.node_id)
+        free_node = forest.node(free.node_id)
+        return Occurrence(
+            use=use,
+            free=free,
+            pair_type=classify_pair(forest, use_node, free_node),
+            use_lineage=use_node.lineage_entries(),
+            free_lineage=free_node.lineage_entries(),
+            alias=self._alias_witness(use, free),
+        )
+
     def _nodes_concurrent(self, use: AccessEvent, free: AccessEvent) -> bool:
         if use.node_id == free.node_id:
             # Callbacks on one looper are atomic; an access pair inside one
@@ -125,6 +162,12 @@ class UafDetector:
         obs.add("detector.potential_warnings", len(warnings))
         obs.add("detector.occurrences",
                 sum(len(w.occurrences) for w in warnings))
+        obs.add("report.witnesses.alias",
+                sum(1 for w in warnings for o in w.occurrences
+                    if o.alias is not None))
+        obs.add("report.lineage.entries",
+                sum(len(o.use_lineage) + len(o.free_lineage)
+                    for w in warnings for o in w.occurrences))
 
     def detect(self) -> List[UafWarning]:
         if (
@@ -149,7 +192,6 @@ class UafDetector:
         )
         relations = evaluate(dl)
         warnings: Dict[Tuple[int, int], UafWarning] = {}
-        forest = self.program.forest
         for use_index, free_index in sorted(relations.get("racyPair", ())):
             use = events[use_index]
             free = events[free_index]
@@ -164,12 +206,7 @@ class UafDetector:
                     free_method=free.method_qname,
                 )
                 warnings[key] = warning
-            pair_type = classify_pair(
-                forest, forest.node(use.node_id), forest.node(free.node_id)
-            )
-            warning.occurrences.append(
-                Occurrence(use=use, free=free, pair_type=pair_type)
-            )
+            warning.occurrences.append(self._make_occurrence(use, free))
         result = sorted(
             warnings.values(), key=lambda w: (w.fieldref.class_name,
                                               w.fieldref.field_name,
@@ -188,7 +225,6 @@ class UafDetector:
             by_field[key][event.kind].append(event)
 
         warnings: Dict[Tuple[int, int], UafWarning] = {}
-        forest = self.program.forest
         for accesses in by_field.values():
             for use in accesses[USE]:
                 for free in accesses[FREE]:
@@ -207,11 +243,8 @@ class UafDetector:
                             free_method=free.method_qname,
                         )
                         warnings[key] = warning
-                    pair_type = classify_pair(
-                        forest, forest.node(use.node_id), forest.node(free.node_id)
-                    )
                     warning.occurrences.append(
-                        Occurrence(use=use, free=free, pair_type=pair_type)
+                        self._make_occurrence(use, free)
                     )
         result = sorted(
             warnings.values(), key=lambda w: (w.fieldref.class_name,

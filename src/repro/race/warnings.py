@@ -11,7 +11,7 @@ least one occurrence survives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..ir import FieldRef
 from ..threadify.model import ThreadForest, ThreadKind, ThreadNode
@@ -43,6 +43,38 @@ def classify_pair(forest: ThreadForest, a: ThreadNode, b: ThreadNode) -> str:
     return PAIR_T_T
 
 
+@dataclass(frozen=True)
+class Witness:
+    """Why one analysis decision holds: the section-7 provenance unit.
+
+    Every filter that prunes or downgrades an occurrence produces one of
+    these; the detector attaches one per occurrence for the points-to
+    claim that made the pair a candidate in the first place.  ``data`` is
+    JSON-safe so witnesses ride through the runner's cache envelopes and
+    into reports unchanged.
+    """
+
+    #: vocabulary: ``mhb-edge``, ``guard``, ``allocation``, ``resume-hb``,
+    #: ``cancel-hb``, ``post-hb``, ``return-use``, ``thread-thread``,
+    #: ``points-to``, ``static-field`` (see docs/reporting.md)
+    kind: str
+    #: one human-readable line for the decision trail
+    detail: str
+    #: structured payload (endpoint nodes, lock, allocation site, ...)
+    data: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "detail": self.detail,
+                "data": dict(self.data)}
+
+    @staticmethod
+    def from_dict(payload: Optional[Dict[str, Any]]) -> Optional["Witness"]:
+        if payload is None:
+            return None
+        return Witness(kind=payload["kind"], detail=payload["detail"],
+                       data=dict(payload.get("data", {})))
+
+
 @dataclass
 class Occurrence:
     """One (use node, free node) realization of a warning."""
@@ -54,6 +86,15 @@ class Occurrence:
     pruned_by: Optional[str] = None
     #: name of the unsound filter that downgraded it, if any
     downgraded_by: Optional[str] = None
+    #: why the pruning/downgrading filter fired (None while surviving)
+    witness: Optional[Witness] = None
+    #: poster->postee callback lineage of each side, root (dummy main)
+    #: first -- serializable snapshot of the thread-forest paths
+    use_lineage: List[Dict[str, Any]] = field(default_factory=list)
+    free_lineage: List[Dict[str, Any]] = field(default_factory=list)
+    #: the points-to witness that made the pair a candidate (abstract
+    #: field plus the overlapping allocation contexts, or static-field)
+    alias: Optional[Witness] = None
 
     @property
     def surviving(self) -> bool:
@@ -62,6 +103,15 @@ class Occurrence:
     @property
     def surviving_sound(self) -> bool:
         return self.pruned_by is None
+
+    @property
+    def verdict(self) -> str:
+        """``surviving``, ``downgraded`` or ``pruned`` (decision trail)."""
+        if self.pruned_by is not None:
+            return "pruned"
+        if self.downgraded_by is not None:
+            return "downgraded"
+        return "surviving"
 
 
 @dataclass
@@ -89,6 +139,16 @@ class UafWarning:
     @property
     def survives_all(self) -> bool:
         return any(o.surviving for o in self.occurrences)
+
+    @property
+    def status(self) -> str:
+        """Report classification: ``remaining`` (survives every filter),
+        ``downgraded`` (killed only by unsound filters) or ``pruned``."""
+        if self.survives_all:
+            return "remaining"
+        if self.survives_sound:
+            return "downgraded"
+        return "pruned"
 
     def pair_type(self) -> str:
         """Category of the warning: taken from a surviving occurrence when

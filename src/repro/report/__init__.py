@@ -1,0 +1,67 @@
+"""repro.report -- explainable warnings (paper section 7).
+
+The provenance captured across the pipeline (filter witnesses, callback
+lineage, points-to witnesses) assembled into per-run artifacts:
+
+* :class:`AnalysisReport` / :class:`AppReport` -- the report model,
+* :func:`render_explanation` -- the human ``repro explain`` view,
+* :func:`report_to_dict` / :func:`write_report` -- deterministic JSON,
+* :func:`report_to_sarif` / :func:`write_sarif` -- SARIF 2.1.0,
+* :func:`diff_reports` -- the run-diff regression gate.
+
+See ``docs/reporting.md`` for the schemas and witness vocabulary.
+"""
+
+from .model import (
+    AnalysisReport,
+    AppReport,
+    build_app_report,
+    build_report,
+    REPORT_SCHEMA,
+    STATUSES,
+    warning_id,
+    warning_lines,
+)
+from .json import (
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    report_to_json,
+    write_report,
+)
+from .text import (
+    render_app_explanations,
+    render_explanation,
+    render_lineage,
+    render_occurrence,
+)
+from .sarif import report_to_sarif, SARIF_VERSION, write_sarif
+from .diff import diff_reports, exit_code, render_diff, ReportDiff, WarningDelta
+
+__all__ = [
+    "AnalysisReport",
+    "AppReport",
+    "build_app_report",
+    "build_report",
+    "diff_reports",
+    "exit_code",
+    "load_report",
+    "render_app_explanations",
+    "render_diff",
+    "render_explanation",
+    "render_lineage",
+    "render_occurrence",
+    "REPORT_SCHEMA",
+    "report_from_dict",
+    "report_to_dict",
+    "report_to_json",
+    "report_to_sarif",
+    "ReportDiff",
+    "SARIF_VERSION",
+    "STATUSES",
+    "warning_id",
+    "warning_lines",
+    "WarningDelta",
+    "write_report",
+    "write_sarif",
+]

@@ -1,0 +1,140 @@
+"""Report objects: the per-run explanation bundle (paper section 7).
+
+An :class:`AnalysisReport` is the machine-checkable form of everything the
+pipeline decided about one run -- one :class:`AppReport` per analyzed
+application, each carrying its full warning list *with provenance*: the
+poster->postee lineage of every occurrence, the points-to witness that
+made the pair a candidate, and the filter witness that pruned or
+downgraded it.  The exporters build on this:
+
+* :mod:`repro.report.text`  -- the human ``repro explain`` rendering,
+* :mod:`repro.report.json`  -- deterministic JSON (the diffable artifact),
+* :mod:`repro.report.sarif` -- SARIF 2.1.0 for code-scanning UIs,
+* :mod:`repro.report.diff`  -- the run-to-run regression gate.
+
+Warning identity (:func:`warning_id`) is content-based -- field, methods
+and source lines, never instruction uids -- so two runs over edited-but-
+equivalent sources still line up in a diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from .. import __version__
+from ..race.warnings import UafWarning
+
+#: bump when the report JSON layout changes incompatibly
+REPORT_SCHEMA = 1
+
+#: warning statuses, in decreasing severity
+STATUSES = ("remaining", "downgraded", "pruned")
+
+
+def warning_lines(warning: UafWarning) -> Dict[str, int]:
+    """Source lines of the use and the free (from the first occurrence)."""
+    if not warning.occurrences:
+        return {"use": 0, "free": 0}
+    occ = warning.occurrences[0]
+    return {"use": occ.use.line, "free": occ.free.line}
+
+
+def warning_id(app_name: str, warning: UafWarning) -> str:
+    """Stable content-based identity used to match warnings across runs."""
+    lines = warning_lines(warning)
+    return "::".join([
+        app_name,
+        f"{warning.fieldref.class_name}.{warning.fieldref.field_name}",
+        f"{warning.use_method}:{lines['use']}",
+        f"{warning.free_method}:{lines['free']}",
+    ])
+
+
+@dataclass
+class AppReport:
+    """Everything one application's analysis decided, with provenance."""
+
+    name: str
+    #: EC/PC/T model sizes plus the potential/after_sound/after_unsound
+    #: funnel, exactly as Table 1 counts them
+    counts: Dict[str, int]
+    #: every potential warning, each occurrence carrying its lineage,
+    #: alias witness and (when pruned/downgraded) filter witness
+    warnings: List[UafWarning] = field(default_factory=list)
+    #: artifact URI for SARIF locations (source path or ``<app>.mjava``)
+    source: Optional[str] = None
+    #: deterministic analysis counters (witness volume, filter funnel...);
+    #: gauges and spans are excluded so reports stay byte-reproducible
+    metrics: Dict[str, int] = field(default_factory=dict)
+
+    def by_status(self) -> Dict[str, List[UafWarning]]:
+        out: Dict[str, List[UafWarning]] = {s: [] for s in STATUSES}
+        for warning in self.warnings:
+            out[warning.status].append(warning)
+        return out
+
+
+@dataclass
+class AnalysisReport:
+    """One run's reports for every analyzed app, keyed by app name."""
+
+    apps: Dict[str, AppReport] = field(default_factory=dict)
+    schema: int = REPORT_SCHEMA
+    version: str = __version__
+
+    def warning_statuses(self) -> Dict[str, str]:
+        """``warning_id -> status`` over the whole run (the diff's view)."""
+        out: Dict[str, str] = {}
+        for name, app in self.apps.items():
+            for warning in app.warnings:
+                out[warning_id(name, warning)] = warning.status
+        return out
+
+
+def _deterministic_counters(metrics) -> Dict[str, int]:
+    """Counters of one metrics snapshot (mapping or snapshot object)."""
+    if metrics is None:
+        return {}
+    counters = getattr(metrics, "counters", metrics)
+    return {name: int(value) for name, value in sorted(counters.items())}
+
+
+def build_app_report(
+    name: str,
+    result,
+    source: Optional[str] = None,
+    metrics=None,
+) -> AppReport:
+    """Project an analysis outcome onto its report.
+
+    ``result`` is either a full in-process
+    :class:`repro.core.AnalysisResult` or the runner's serializable
+    :class:`repro.runner.serialize.ResultData` -- both expose ``counts()``
+    and ``warnings``.  ``metrics`` is an optional
+    :class:`repro.obs.MetricsSnapshot` (or plain counter mapping); only
+    its deterministic counters are kept.
+    """
+    from ..runner.serialize import warning_sort_key
+
+    return AppReport(
+        name=name,
+        counts=dict(result.counts()),
+        warnings=sorted(result.warnings, key=warning_sort_key),
+        source=source if source is not None else f"{name}.mjava",
+        metrics=_deterministic_counters(metrics),
+    )
+
+
+def build_report(
+    apps: Union[Dict[str, AppReport], List[AppReport]],
+) -> AnalysisReport:
+    """Assemble per-app reports into one run report (name-sorted)."""
+    if isinstance(apps, dict):
+        items = list(apps.values())
+    else:
+        items = list(apps)
+    return AnalysisReport(
+        apps={report.name: report for report in
+              sorted(items, key=lambda r: r.name)}
+    )

@@ -1,0 +1,85 @@
+"""Human-facing explanation rendering (the section-7 programmer aid).
+
+``repro explain`` prints, for every warning, the callback/thread lineage
+of both sides of each occurrence (root-first, as a nested tree) and the
+per-occurrence decision trail: the aliasing witness that made the pair a
+candidate, and -- for pruned/downgraded siblings -- the filter that fired
+together with its witness (the HB edge, the common lock, the allocation
+site, ...).  Everything here goes to stdout and is plain ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..race.warnings import Occurrence, UafWarning
+from .model import AppReport, warning_id, warning_lines
+
+
+def render_lineage(lineage: List[Dict[str, Any]], indent: str = "") -> str:
+    """One poster->postee chain as a nested tree, dummy main at the root."""
+    lines: List[str] = []
+    for depth, entry in enumerate(lineage):
+        label = entry.get("entry", "?")
+        notes = []
+        category = entry.get("category")
+        if category:
+            notes.append(category)
+        if entry.get("looper") is None and label != "main":
+            notes.append("native")
+        post_site = entry.get("post_site")
+        if post_site is not None:
+            notes.append(f"posted at uid {post_site}")
+        suffix = f"  [{', '.join(notes)}]" if notes else ""
+        prefix = indent if depth == 0 else f"{indent}{'  ' * (depth - 1)}`-> "
+        lines.append(f"{prefix}{label}{suffix}")
+    return "\n".join(lines)
+
+
+def render_occurrence(occ: Occurrence, index: int) -> str:
+    """One occurrence's lineage pair plus its filter decision."""
+    verdict = occ.verdict
+    if occ.pruned_by:
+        verdict = f"pruned by {occ.pruned_by}"
+    elif occ.downgraded_by:
+        verdict = f"downgraded by {occ.downgraded_by}"
+    lines = [f"  occurrence {index} [{occ.pair_type}] -- {verdict}"]
+    if occ.use_lineage:
+        lines.append("    use  thread lineage:")
+        lines.append(render_lineage(occ.use_lineage, indent="      "))
+    if occ.free_lineage:
+        lines.append("    free thread lineage:")
+        lines.append(render_lineage(occ.free_lineage, indent="      "))
+    if occ.alias is not None:
+        lines.append(f"    alias witness : {occ.alias.detail}")
+    if occ.witness is not None:
+        lines.append(f"    filter witness: {occ.witness.detail}")
+    return "\n".join(lines)
+
+
+def render_explanation(warning: UafWarning,
+                       app_name: Optional[str] = None) -> str:
+    """The full explanation of one warning, every occurrence included."""
+    field = f"{warning.fieldref.class_name}.{warning.fieldref.field_name}"
+    lines_at = warning_lines(warning)
+    header = (f"potential UAF on {field}  [{warning.pair_type()}]  "
+              f"status: {warning.status}")
+    lines = [header]
+    if app_name is not None:
+        lines.append(f"  id  : {warning_id(app_name, warning)}")
+    lines.append(f"  use : {warning.use_method} (line {lines_at['use']})")
+    lines.append(f"  free: {warning.free_method} (line {lines_at['free']})")
+    for index, occ in enumerate(warning.occurrences, start=1):
+        lines.append(render_occurrence(occ, index))
+    return "\n".join(lines)
+
+
+def render_app_explanations(app: AppReport,
+                            statuses: Optional[List[str]] = None) -> str:
+    """Every warning of one app (optionally restricted by status)."""
+    chunks: List[str] = []
+    for warning in app.warnings:
+        if statuses is not None and warning.status not in statuses:
+            continue
+        chunks.append(render_explanation(warning, app_name=app.name))
+    return "\n\n".join(chunks)

@@ -31,8 +31,11 @@ from .. import __version__
 
 #: bump when the payload layout changes without a package version bump
 #: (2: entries became ``{"data": ..., "obs": ...}`` envelopes carrying the
-#: per-app metrics snapshot alongside the task payload)
-CACHE_SCHEMA = 2
+#: per-app metrics snapshot alongside the task payload; 3: occurrences
+#: carry provenance -- filter witnesses, lineage chains, alias witnesses
+#: -- and every stored envelope is stamped with its schema so stale
+#: entries read back as misses instead of half-empty explanations)
+CACHE_SCHEMA = 3
 
 
 def default_cache_dir() -> Path:
@@ -76,18 +79,28 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
+        # Stale-schema hygiene: an entry written by an older payload
+        # layout (e.g. schema 2, before provenance witnesses) replays as
+        # a miss and gets transparently re-analyzed, never an error.
+        # Entries normally differ by key too (the schema participates in
+        # the hash), but a shared cache dir may hold hand-migrated or
+        # corrupted entries at the new key.
+        if payload.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
         self.hits += 1
         return payload
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stamped = {"schema": CACHE_SCHEMA, **payload}
         fd, tmp = tempfile.mkstemp(
             dir=str(path.parent), prefix=path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
+                json.dump(stamped, handle, separators=(",", ":"))
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -29,7 +29,7 @@ from ..core import AnalysisConfig, AnalysisResult
 from ..filters.pipeline import FilterReport
 from ..ir import FieldRef
 from ..race.events import AccessEvent
-from ..race.warnings import Occurrence, PAIR_TYPES, UafWarning
+from ..race.warnings import Occurrence, PAIR_TYPES, UafWarning, Witness
 
 
 def warning_sort_key(warning: UafWarning):
@@ -77,6 +77,10 @@ def _occurrence_to_dict(occ: Occurrence) -> Dict[str, Any]:
         "pair_type": occ.pair_type,
         "pruned_by": occ.pruned_by,
         "downgraded_by": occ.downgraded_by,
+        "witness": occ.witness.to_dict() if occ.witness else None,
+        "use_lineage": list(occ.use_lineage),
+        "free_lineage": list(occ.free_lineage),
+        "alias": occ.alias.to_dict() if occ.alias else None,
     }
 
 
@@ -87,6 +91,10 @@ def _occurrence_from_dict(data: Dict[str, Any]) -> Occurrence:
         pair_type=data["pair_type"],
         pruned_by=data["pruned_by"],
         downgraded_by=data["downgraded_by"],
+        witness=Witness.from_dict(data.get("witness")),
+        use_lineage=list(data.get("use_lineage", ())),
+        free_lineage=list(data.get("free_lineage", ())),
+        alias=Witness.from_dict(data.get("alias")),
     )
 
 

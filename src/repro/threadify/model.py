@@ -89,6 +89,29 @@ class ThreadNode:
                 parts.append(f"{node.receiver_class}.{node.method_name}")
         return " -> ".join(parts)
 
+    def lineage_entries(self) -> List[Dict[str, object]]:
+        """JSON-safe poster->postee lineage, root (dummy main) first.
+
+        This is the serializable form of :meth:`describe` that survives
+        the runner's process boundary: each entry carries the node's
+        identity, kind, callback category and the uid of the call site
+        that posted/spawned it (``None`` for entry callbacks, which the
+        runtime invokes directly).
+        """
+        entries: List[Dict[str, object]] = []
+        for node in self.lineage():
+            entries.append({
+                "node_id": node.node_id,
+                "kind": node.kind.name,
+                "entry": "main" if node.kind is ThreadKind.DUMMY_MAIN
+                         else f"{node.receiver_class}.{node.method_name}",
+                "category": node.category.name if node.category else None,
+                "component": node.component,
+                "looper": node.looper,
+                "post_site": node.post_site,
+            })
+        return entries
+
     def __hash__(self) -> int:
         return self.node_id
 

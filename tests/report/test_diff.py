@@ -1,0 +1,111 @@
+"""Run-diff semantics: classification, regression gating, exit codes.
+
+Dict-level tests against hand-built report payloads (the diff consumes
+the JSON form directly), pinning the ISSUE acceptance criteria: identical
+reports diff clean with zero metric deltas; one injected warning turns
+``--fail-on-new`` into a non-zero exit naming exactly that warning.
+"""
+
+import copy
+
+from repro.report import diff_reports, exit_code, render_diff
+from repro.report.model import REPORT_SCHEMA
+
+
+def make_report(warnings, metrics=None):
+    return {
+        "schema": REPORT_SCHEMA,
+        "version": "1.3.0",
+        "apps": {
+            "app": {
+                "counts": {},
+                "source": "app.mjava",
+                "metrics": metrics or {},
+                "warnings": [
+                    {"id": wid, "status": status}
+                    for wid, status in warnings.items()
+                ],
+            },
+        },
+    }
+
+
+BASE = {"app::A.f::A.use:3::A.free:9": "remaining",
+        "app::A.g::A.use:5::A.free:7": "pruned"}
+
+
+def test_identical_reports_diff_clean():
+    old = make_report(BASE, metrics={"filters.potential": 2})
+    diff = diff_reports(old, copy.deepcopy(old))
+    assert diff.clean
+    assert diff.metric_deltas == {}
+    assert render_diff(diff) == \
+        "reports are identical (0 warning changes, 0 metric deltas)"
+    assert exit_code(diff, fail_on_new=True) == 0
+    assert exit_code(diff, fail_on_new=False) == 0
+
+
+def test_injected_warning_is_the_only_regression():
+    injected = "app::A.h::A.use:11::A.free:12"
+    new = dict(BASE)
+    new[injected] = "remaining"
+    diff = diff_reports(make_report(BASE), make_report(new))
+    assert [d.warning_id for d in diff.new] == [injected]
+    assert not diff.fixed and not diff.changed
+    assert [d.warning_id for d in diff.regressions()] == [injected]
+    assert exit_code(diff, fail_on_new=True) == 1
+    assert exit_code(diff, fail_on_new=False) == 0
+    rendered = render_diff(diff)
+    assert injected in rendered
+    assert "[REGRESSION]" in rendered
+
+
+def test_new_pruned_warning_is_not_a_regression():
+    new = dict(BASE)
+    new["app::A.h::A.use:11::A.free:12"] = "pruned"
+    diff = diff_reports(make_report(BASE), make_report(new))
+    assert len(diff.new) == 1
+    assert not diff.regressions()
+    assert exit_code(diff, fail_on_new=True) == 0
+
+
+def test_changed_to_remaining_is_a_regression():
+    new = dict(BASE)
+    new["app::A.g::A.use:5::A.free:7"] = "remaining"
+    diff = diff_reports(make_report(BASE), make_report(new))
+    assert not diff.new and not diff.fixed
+    delta = diff.changed[0]
+    assert (delta.old_status, delta.new_status) == ("pruned", "remaining")
+    assert delta.is_regression
+    assert exit_code(diff, fail_on_new=True) == 1
+
+
+def test_changed_away_from_remaining_is_an_improvement():
+    new = dict(BASE)
+    new["app::A.f::A.use:3::A.free:9"] = "downgraded"
+    diff = diff_reports(make_report(BASE), make_report(new))
+    assert diff.changed and not diff.regressions()
+    assert exit_code(diff, fail_on_new=True) == 0
+
+
+def test_fixed_warning_reported_not_gated():
+    new = dict(BASE)
+    del new["app::A.f::A.use:3::A.free:9"]
+    diff = diff_reports(make_report(BASE), make_report(new))
+    assert [d.warning_id for d in diff.fixed] == \
+        ["app::A.f::A.use:3::A.free:9"]
+    assert not diff.regressions()
+    assert "fixed (was remaining)" in render_diff(diff)
+
+
+def test_metric_deltas_keep_nonzero_only():
+    old = make_report(BASE, metrics={"filters.potential": 2,
+                                     "filters.after_sound": 1})
+    new = make_report(BASE, metrics={"filters.potential": 5,
+                                     "filters.after_sound": 1})
+    diff = diff_reports(old, new)
+    assert diff.metric_deltas == {"filters.potential": 3}
+    assert not diff.clean
+    assert exit_code(diff, fail_on_new=True) == 0, \
+        "metric drift alone must not trip the warning gate"
+    assert "filters.potential: +3" in render_diff(diff)

@@ -1,0 +1,156 @@
+"""Report model, JSON and explain-rendering tests on the quickstart app.
+
+The quickstart example (the paper's Figure 1(a) shape) yields one
+remaining warning and two IG-pruned ones, which exercises every report
+surface: statuses, content-based ids, provenance on each occurrence,
+JSON round-tripping, and the deterministic-bytes contract.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core import analyze_app
+from repro.report import (
+    build_app_report,
+    build_report,
+    render_app_explanations,
+    report_from_dict,
+    report_to_dict,
+    report_to_json,
+    REPORT_SCHEMA,
+    STATUSES,
+    warning_id,
+)
+
+QUICKSTART = (
+    Path(__file__).resolve().parents[2] / "examples" / "quickstart.mjava"
+)
+
+
+def make_report():
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        result = analyze_app(QUICKSTART.read_text())
+    return build_report([
+        build_app_report("quickstart", result,
+                         source="examples/quickstart.mjava",
+                         metrics=recorder.snapshot())
+    ])
+
+
+@pytest.fixture(scope="module")
+def report():
+    return make_report()
+
+
+@pytest.fixture(scope="module")
+def app(report):
+    return report.apps["quickstart"]
+
+
+# -- model -------------------------------------------------------------------
+
+
+def test_quickstart_statuses(app):
+    by_status = app.by_status()
+    assert len(by_status["remaining"]) == 1
+    assert len(by_status["pruned"]) == 2
+    remaining = by_status["remaining"][0]
+    assert "onCreateContextMenu" in remaining.use_method
+    assert remaining.status == "remaining"
+
+
+def test_warning_ids_are_content_based_and_unique(app):
+    ids = [warning_id(app.name, w) for w in app.warnings]
+    assert len(set(ids)) == len(ids)
+    for wid in ids:
+        app_name, field, use, free = wid.split("::")
+        assert app_name == "quickstart"
+        assert field == "MainActivity.session"
+        # method:line on both endpoints, lines are positive
+        for endpoint in (use, free):
+            method, line = endpoint.rsplit(":", 1)
+            assert "." in method and int(line) > 0
+
+
+def test_every_occurrence_carries_provenance(app):
+    for warning in app.warnings:
+        for occ in warning.occurrences:
+            assert occ.use_lineage and occ.free_lineage
+            assert occ.use_lineage[0]["entry"] == "main"
+            assert occ.alias is not None
+            assert occ.alias.kind in ("points-to", "static-field")
+            if occ.verdict != "surviving":
+                assert occ.witness is not None
+            else:
+                assert occ.witness is None
+
+
+def test_metrics_are_deterministic_counters_only(app):
+    assert app.metrics, "analysis counters must be embedded"
+    assert all(isinstance(v, int) for v in app.metrics.values())
+    assert "report.witnesses.alias" in app.metrics
+    assert "report.witnesses.filter" in app.metrics
+    assert not any("wall" in name or "duration" in name
+                   for name in app.metrics)
+
+
+def test_warning_statuses_view(report):
+    statuses = report.warning_statuses()
+    assert len(statuses) == 3
+    assert set(statuses.values()) <= set(STATUSES)
+
+
+# -- JSON --------------------------------------------------------------------
+
+
+def test_json_round_trip_is_lossless(report):
+    payload = report_to_dict(report)
+    assert payload["schema"] == REPORT_SCHEMA
+    restored = report_from_dict(payload)
+    assert report_to_json(restored) == report_to_json(report)
+
+
+def test_report_from_dict_rejects_wrong_schema(report):
+    payload = report_to_dict(report)
+    payload["schema"] = REPORT_SCHEMA + 1
+    with pytest.raises(ValueError, match="unsupported report schema"):
+        report_from_dict(payload)
+
+
+def test_report_json_is_byte_reproducible(report):
+    assert report_to_json(make_report()) == report_to_json(report)
+
+
+def test_warning_dicts_carry_report_fields(report):
+    payload = report_to_dict(report)
+    for warning in payload["apps"]["quickstart"]["warnings"]:
+        assert warning["id"].startswith("quickstart::")
+        assert warning["status"] in STATUSES
+        assert warning["pair_type"] == "EC-PC"
+        assert warning["lines"]["use"] > 0
+
+
+# -- explain rendering -------------------------------------------------------
+
+
+def test_explain_shows_lineage_and_witnesses(app):
+    text = render_app_explanations(app)
+    assert "use  thread lineage:" in text
+    assert "free thread lineage:" in text
+    assert "`-> MainActivity.onCreateContextMenu" in text
+    assert "`-> MainActivity$1.onServiceDisconnected" in text
+    assert "posted at uid" in text
+    assert "alias witness :" in text
+    assert "filter witness:" in text
+    assert "pruned by IG" in text
+    assert "status: remaining" in text
+
+
+def test_explain_status_restriction(app):
+    remaining_only = render_app_explanations(app, statuses=["remaining"])
+    assert "status: remaining" in remaining_only
+    assert "status: pruned" not in remaining_only
+    assert render_app_explanations(app, statuses=["downgraded"]) == ""

@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 export shape tests (the ISSUE acceptance checklist).
+
+The SARIF must carry: the version string, one rule per pair type under
+``runs[].tool.driver.rules``, and non-empty ``locations`` on every
+result.  Downgraded warnings ship as notes, pruned ones not at all.
+"""
+
+from pathlib import Path
+
+import json
+
+import pytest
+
+from repro.core import analyze_app
+from repro.race.warnings import PAIR_TYPES
+from repro.report import (
+    build_app_report,
+    build_report,
+    report_to_sarif,
+    SARIF_VERSION,
+    write_sarif,
+)
+
+QUICKSTART = (
+    Path(__file__).resolve().parents[2] / "examples" / "quickstart.mjava"
+)
+
+# native-native pair: TT downgrades it, so the report has a "downgraded"
+TT_APP = """
+class F { void use() { } }
+class Shared { static F f; }
+class A extends Activity {
+  void onCreate(Bundle b) {
+    Shared.f = new F();
+    new Thread(new W1()).start();
+    new Thread(new W2()).start();
+  }
+}
+class W1 implements Runnable {
+  public void run() { Shared.f.use(); }
+}
+class W2 implements Runnable {
+  public void run() { Shared.f = null; }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def sarif():
+    report = build_report([
+        build_app_report("quickstart", analyze_app(QUICKSTART.read_text()),
+                         source="examples/quickstart.mjava"),
+        build_app_report("ttapp", analyze_app(TT_APP)),
+    ])
+    return report_to_sarif(report)
+
+
+def test_sarif_version_and_schema(sarif):
+    assert sarif["version"] == SARIF_VERSION == "2.1.0"
+    assert "sarif-schema-2.1.0" in sarif["$schema"]
+    assert len(sarif["runs"]) == 1
+
+
+def test_sarif_rules_cover_every_pair_type(sarif):
+    rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == [f"uaf-{pt}" for pt in PAIR_TYPES]
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+
+
+def test_sarif_results_have_locations(sarif):
+    results = sarif["runs"][0]["results"]
+    assert results, "remaining + downgraded warnings must export"
+    for result in results:
+        assert result["locations"], "every result needs a location"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert result["relatedLocations"], "free site + lineage expected"
+        assert result["partialFingerprints"]["nadroidWarningId"]
+
+
+def test_sarif_levels_follow_status(sarif):
+    results = sarif["runs"][0]["results"]
+    levels = {r["partialFingerprints"]["nadroidWarningId"]: r["level"]
+              for r in results}
+    remaining = [wid for wid, level in levels.items()
+                 if wid.startswith("quickstart::")]
+    assert remaining and all(levels[wid] == "warning" for wid in remaining)
+    downgraded = [wid for wid, level in levels.items()
+                  if wid.startswith("ttapp::")]
+    assert downgraded and all(levels[wid] == "note" for wid in downgraded)
+
+
+def test_sarif_excludes_pruned_warnings(sarif):
+    # quickstart has 3 potential warnings but 2 are pruned by IG
+    quickstart = [r for r in sarif["runs"][0]["results"]
+                  if r["partialFingerprints"]["nadroidWarningId"]
+                  .startswith("quickstart::")]
+    assert len(quickstart) == 1
+
+
+def test_sarif_lineage_in_related_locations(sarif):
+    quickstart = [r for r in sarif["runs"][0]["results"]
+                  if r["partialFingerprints"]["nadroidWarningId"]
+                  .startswith("quickstart::")]
+    messages = [loc.get("message", {}).get("text", "")
+                for loc in quickstart[0]["relatedLocations"]]
+    assert any(m.startswith("use lineage[0]: main") for m in messages)
+    assert any("onServiceDisconnected" in m for m in messages)
+
+
+def test_write_sarif_is_valid_json(sarif, tmp_path):
+    report = build_report([
+        build_app_report("quickstart", analyze_app(QUICKSTART.read_text())),
+    ])
+    out = tmp_path / "out.sarif"
+    write_sarif(report, out)
+    payload = json.loads(out.read_text())
+    assert payload["version"] == "2.1.0"

@@ -1,0 +1,300 @@
+"""Witness vocabulary tests: each filter names *why* it fired.
+
+One app per filter (the same patterns the filter unit tests use), each
+asserting the witness kind and the load-bearing payload fields --
+docs/reporting.md documents this vocabulary, so these tests pin it.
+"""
+
+from repro.core import analyze_app, AnalysisConfig
+from repro.filters.base import FilterOptions
+
+
+def sound_only_config():
+    return AnalysisConfig(filters=FilterOptions(sound_only=True))
+
+
+def witnesses_on(result, field_name, filter_name):
+    out = []
+    for warning in result.warnings:
+        if warning.fieldref.field_name != field_name:
+            continue
+        for occ in warning.occurrences:
+            if filter_name in (occ.pruned_by, occ.downgraded_by):
+                assert occ.witness is not None, \
+                    f"{filter_name} pruned without a witness"
+                out.append(occ.witness)
+    return out
+
+
+MHB_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  void onResume() {
+    f.use();
+  }
+  void onDestroy() {
+    f = null;
+  }
+}
+"""
+
+
+def test_mhb_witness_names_the_lifecycle_edge():
+    result = analyze_app(MHB_APP, config=sound_only_config())
+    witnesses = witnesses_on(result, "f", "MHB")
+    assert witnesses
+    for witness in witnesses:
+        assert witness.kind == "mhb-edge"
+        assert witness.data["edge"] == "MHB-Lifecycle"
+        assert "onResume" in witness.data["use_callback"]
+        assert "onDestroy" in witness.data["free_callback"]
+        assert "must happen before" in witness.detail
+
+
+IG_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        if (f != null) {
+          f.use();
+        }
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_ig_witness_names_guard_and_atomicity():
+    result = analyze_app(IG_APP, config=sound_only_config())
+    witnesses = witnesses_on(result, "f", "IG")
+    assert witnesses
+    assert any(
+        w.kind == "guard" and w.data.get("guard") == "null-check"
+        and w.data["atomicity"]["kind"] == "same-looper"
+        for w in witnesses
+    )
+
+
+IA_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = new F();
+        f.use();
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_ia_witness_names_the_allocation_site():
+    result = analyze_app(IA_APP, config=sound_only_config())
+    witnesses = witnesses_on(result, "f", "IA")
+    assert witnesses
+    for witness in witnesses:
+        assert witness.kind == "allocation"
+        assert witness.data["source"] == "new"
+        assert witness.data["field"].endswith(".f")
+        assert witness.data["store_sites"], "the fresh store must be named"
+
+
+RHB_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View button;
+  void onCreate(Bundle b) {
+    button.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f.use();
+      }
+    });
+  }
+  void onResume() {
+    f = new F();
+  }
+  void onPause() {
+    f = null;
+  }
+}
+"""
+
+
+def test_rhb_witness_names_the_reallocating_resume():
+    result = analyze_app(RHB_APP)
+    witnesses = witnesses_on(result, "f", "RHB")
+    assert witnesses
+    for witness in witnesses:
+        assert witness.kind == "resume-hb"
+        assert witness.data["edge"] == "Resume-HB"
+        assert "onResume" in witness.data["reallocation_method"]
+
+
+CHB_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        finish();
+        f = null;
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f.use();
+      }
+    });
+  }
+}
+"""
+
+
+def test_chb_witness_names_the_cancellation_site():
+    result = analyze_app(CHB_APP)
+    witnesses = witnesses_on(result, "f", "CHB")
+    assert witnesses
+    for witness in witnesses:
+        assert witness.kind == "cancel-hb"
+        assert "FINISH" in witness.data["api"]
+        assert witness.data["cancel_line"] > 0
+
+
+PHB_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  MyHandler handler;
+  View button;
+  void onCreate(Bundle b) {
+    handler = new MyHandler();
+    handler.app = this;
+    button.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        handler.sendEmptyMessage(1);
+        f.use();
+      }
+    });
+  }
+}
+class MyHandler extends Handler {
+  A app;
+  public void handleMessage(Message msg) {
+    app.f = null;
+  }
+}
+"""
+
+
+def test_phb_witness_names_poster_and_postee():
+    result = analyze_app(PHB_APP)
+    witnesses = witnesses_on(result, "f", "PHB")
+    assert witnesses
+    for witness in witnesses:
+        assert witness.kind == "post-hb"
+        assert "onClick" in witness.data["poster"]
+        assert "handleMessage" in witness.data["postee"]
+        assert witness.data["post_site"] > 0
+
+
+UR_APP = """
+class F { void use() { } }
+class A extends Activity {
+  F f;
+  View b1;
+  View b2;
+  F getF() { return f; }
+  void onCreate(Bundle b) {
+    b1.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        if (getF() != null) {
+          Log.d("a", "present");
+        }
+      }
+    });
+    b2.setOnClickListener(new OnClickListener() {
+      public void onClick(View v) {
+        f = null;
+      }
+    });
+  }
+}
+"""
+
+
+def test_ur_witness_is_return_use():
+    result = analyze_app(UR_APP)
+    witnesses = witnesses_on(result, "f", "UR")
+    assert witnesses
+    assert all(w.kind == "return-use" for w in witnesses)
+
+
+TT_APP = """
+class F { void use() { } }
+class Shared { static F f; }
+class A extends Activity {
+  void onCreate(Bundle b) {
+    Shared.f = new F();
+    new Thread(new W1()).start();
+    new Thread(new W2()).start();
+  }
+}
+class W1 implements Runnable {
+  public void run() { Shared.f.use(); }
+}
+class W2 implements Runnable {
+  public void run() { Shared.f = null; }
+}
+"""
+
+
+def test_tt_witness_and_static_field_alias():
+    result = analyze_app(TT_APP)
+    witnesses = witnesses_on(result, "f", "TT")
+    assert witnesses
+    assert all(w.kind == "thread-thread" for w in witnesses)
+    # a static field's aliasing witness is the field itself
+    tt_warnings = [w for w in result.warnings
+                   if w.fieldref.field_name == "f"]
+    for warning in tt_warnings:
+        for occ in warning.occurrences:
+            assert occ.alias is not None
+            assert occ.alias.kind == "static-field"
+
+
+def test_points_to_alias_witness_on_instance_fields():
+    result = analyze_app(IG_APP, config=sound_only_config())
+    for warning in result.warnings:
+        if warning.fieldref.field_name != "f":
+            continue
+        for occ in warning.occurrences:
+            assert occ.alias is not None
+            assert occ.alias.kind == "points-to"
+            assert occ.alias.data["objects"], \
+                "the overlapping abstract objects must be listed"

@@ -193,6 +193,137 @@ def test_analyze_trace_and_metrics_out(app_file, tmp_path, capsys):
     assert "detector.potential_warnings" in payload["counters"]
 
 
+# -- reporting (ISSUE 3) ------------------------------------------------------
+
+
+def test_explain_prints_lineage_and_decision_trail(app_file, capsys):
+    code = main(["explain", app_file])
+    out = capsys.readouterr().out
+    assert code == 1  # same exit semantics as analyze: warnings remain
+    assert "potential warning(s):" in out
+    assert "use  thread lineage:" in out
+    assert "free thread lineage:" in out
+    assert "alias witness :" in out
+    assert "filter witness:" in out
+    assert "status: remaining" in out
+
+
+def test_explain_clean_app_exits_zero(clean_app_file, capsys):
+    code = main(["explain", clean_app_file])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 potential warning(s)" in out
+
+
+def test_explain_status_filter(app_file, capsys):
+    code = main(["explain", app_file, "--status", "remaining"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "status: remaining" in out
+    assert "status: pruned" not in out
+
+
+def test_analyze_report_and_sarif_out(app_file, tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "report.json"
+    sarif_path = tmp_path / "report.sarif"
+    code = main(["analyze", app_file, "--report-out", str(report_path),
+                 "--sarif-out", str(sarif_path)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert f"[report] wrote {report_path}" in captured.err
+    assert f"[sarif] wrote {sarif_path}" in captured.err
+
+    payload = json.loads(report_path.read_text())
+    assert payload["schema"] == 1
+    warnings = payload["apps"]["app"]["warnings"]
+    assert warnings and all(w["id"].startswith("app::") for w in warnings)
+
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["tool"]["driver"]["rules"]
+    assert all(r["locations"] for r in sarif["runs"][0]["results"])
+
+
+def test_report_out_unwritable_path_exits_2(app_file, capsys):
+    code = main(["analyze", app_file,
+                 "--report-out", "/no/such/dir/report.json"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot write report" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_corpus_report_out_covers_every_app(tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "corpus.json"
+    code = main(["corpus", "--apps", "todolist", "connectbot", "--no-cache",
+                 "--report-out", str(report_path)])
+    assert code == 0
+    capsys.readouterr()
+    payload = json.loads(report_path.read_text())
+    assert set(payload["apps"]) == {"todolist", "connectbot"}
+    assert payload["apps"]["connectbot"]["warnings"]
+    assert payload["apps"]["connectbot"]["metrics"]
+
+
+def test_diff_identical_reports_clean_exit_zero(app_file, tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    main(["analyze", app_file, "--report-out", str(report_path)])
+    capsys.readouterr()
+    code = main(["diff", str(report_path), str(report_path),
+                 "--fail-on-new"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reports are identical (0 warning changes, 0 metric deltas)" in out
+
+
+def test_diff_injected_warning_fails_gate(app_file, tmp_path, capsys):
+    import copy
+    import json
+
+    old_path = tmp_path / "old.json"
+    main(["analyze", app_file, "--report-out", str(old_path)])
+    capsys.readouterr()
+
+    payload = json.loads(old_path.read_text())
+    app_payload = payload["apps"]["app"]
+    injected = copy.deepcopy(app_payload["warnings"][0])
+    injected["id"] = "app::Injected.f::I.use:1::I.free:2"
+    injected["status"] = "remaining"
+    app_payload["warnings"].append(injected)
+    new_path = tmp_path / "new.json"
+    new_path.write_text(json.dumps(payload))
+
+    assert main(["diff", str(old_path), str(new_path)]) == 0
+    without_gate = capsys.readouterr().out
+    assert "app::Injected.f::I.use:1::I.free:2" in without_gate
+
+    code = main(["diff", str(old_path), str(new_path), "--fail-on-new"])
+    gated = capsys.readouterr().out
+    assert code == 1
+    assert "1 regression(s)" in gated
+    assert gated.count("[REGRESSION]") == 1
+
+
+def test_diff_rejects_non_report_json(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{\"schema\": 99}")
+    code = main(["diff", str(bogus), str(bogus)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "is not a nadroid report" in captured.err
+
+
+def test_diff_missing_file_exits_2(tmp_path, capsys):
+    code = main(["diff", "/no/such/old.json", "/no/such/new.json"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot read /no/such/old.json" in captured.err
+
+
 def test_bench_writes_schema_documented_json(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     code = main(["bench", "--apps", "todolist", "swiftnotes",

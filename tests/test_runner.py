@@ -126,6 +126,33 @@ def test_corrupt_cache_entry_is_a_miss(specs, tmp_path):
     assert rows[0].name == specs[0].name
 
 
+def test_stale_schema_cache_entry_is_a_miss(specs, tmp_path):
+    """A schema-2 envelope (pre-witness payloads) must load as a miss and
+    be overwritten, never deserialized into the witness-era model."""
+    runner = CorpusRunner(cache=ResultCache(tmp_path))
+    run_table1(validate=False, apps=specs[:1], runner=runner)
+    entries = list(tmp_path.rglob("*.json"))
+    assert len(entries) == 1
+    payload = json.loads(entries[0].read_text())
+    assert payload["schema"] == 3
+    payload["schema"] = 2
+    entries[0].write_text(json.dumps(payload))
+
+    again = CorpusRunner(cache=ResultCache(tmp_path))
+    rows = run_table1(validate=False, apps=specs[:1], runner=again)
+    assert again.last_stats.analyzed == 1, \
+        "a stale-schema entry must not count as a hit"
+    assert again.last_stats.cached == 0
+    assert rows[0].name == specs[0].name
+    # the entry was re-stamped with the current schema
+    restamped = json.loads(entries[0].read_text())
+    assert restamped["schema"] == 3
+
+    warm = CorpusRunner(cache=ResultCache(tmp_path))
+    run_table1(validate=False, apps=specs[:1], runner=warm)
+    assert warm.last_stats.cached == 1
+
+
 def test_validation_params_participate_in_cache_key(specs, tmp_path):
     runner = CorpusRunner(cache=ResultCache(tmp_path))
     run_table1(validate=False, apps=specs[:2], runner=runner)
