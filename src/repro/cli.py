@@ -12,6 +12,7 @@ Subcommands:
 * ``table3``           -- DEvA comparison
 * ``timing``           -- section 8.8 stage breakdown
 * ``bench``            -- corpus benchmark writing ``BENCH_<date>.json``
+* ``cache prune``      -- sweep quarantined (or all) result-cache entries
 
 Observability (``docs/observability.md``): every corpus subcommand and
 ``analyze`` accept ``--trace`` (span tree on stderr) and
@@ -22,6 +23,12 @@ Reporting (``docs/reporting.md``): ``analyze``, ``explain`` and
 ``corpus`` accept ``--report-out PATH`` (deterministic report JSON) and
 ``--sarif-out PATH`` (SARIF 2.1.0); ``diff`` compares two report files
 and exits non-zero under ``--fail-on-new`` when a regression appears.
+
+Fault tolerance (``docs/robustness.md``): every corpus subcommand
+accepts ``--timeout SECS``, ``--max-retries N`` and
+``--keep-going``/``--fail-fast``.  Under ``--keep-going`` one
+pathological app costs one structured fault entry while the others
+complete, and the process exits with code 3.
 """
 
 from __future__ import annotations
@@ -48,7 +55,8 @@ def _read_sources(paths: List[str]):
 
 
 def _make_runner(args: argparse.Namespace):
-    """Build the corpus runner from the shared --jobs/--cache flags."""
+    """Build the corpus runner from the shared --jobs/--cache/fault flags."""
+    from .resilience import FaultPolicy
     from .runner import CorpusRunner, default_cache_dir, ResultCache
 
     cache = None
@@ -63,7 +71,16 @@ def _make_runner(args: argparse.Namespace):
                 f"cannot use cache directory {cache_dir}: {reason}"
             ) from exc
         cache = ResultCache(cache_dir)
-    return CorpusRunner(jobs=args.jobs, cache=cache)
+    if getattr(args, "timeout", None) is not None and args.timeout <= 0:
+        raise CliError("--timeout must be a positive number of seconds")
+    if getattr(args, "max_retries", 1) < 0:
+        raise CliError("--max-retries must be >= 0")
+    policy = FaultPolicy(
+        timeout=getattr(args, "timeout", None),
+        max_retries=getattr(args, "max_retries", 1),
+        keep_going=getattr(args, "keep_going", False),
+    )
+    return CorpusRunner(jobs=args.jobs, cache=cache, policy=policy)
 
 
 def _corpus_apps(args: argparse.Namespace):
@@ -90,6 +107,20 @@ def _report_stats(runner) -> None:
 
         print(f"[runner] {describe_run(runner.last_metrics.run)}",
               file=sys.stderr)
+
+
+#: exit code for "the run completed, but some apps faulted" (--keep-going)
+EXIT_FAULTS = 3
+
+
+def _report_faults(runner) -> int:
+    """Print one stderr line per app-level fault; return the exit code
+    contribution (EXIT_FAULTS when any app faulted, else 0)."""
+    if not runner.last_faults:
+        return 0
+    for fault in runner.last_faults:
+        print(f"[fault] {fault.describe()}", file=sys.stderr)
+    return EXIT_FAULTS
 
 
 def _emit_observability(args, runner) -> None:
@@ -316,16 +347,22 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     _report_stats(runner)
     _emit_observability(args, runner)
     if args.report_out or args.sarif_out:
-        from .report import build_app_report, build_report
+        from .report import build_app_report, build_report, fault_app_report
 
         metrics = runner.last_metrics
         per_app = metrics.apps if metrics is not None else {}
+        # Faulted apps have no row but still get a report entry carrying
+        # their structured fault record, so the run report always has
+        # one entry per input app.
         report = build_report([
             build_app_report(
                 row.app.name, row.result,
                 metrics=per_app.get(row.app.name),
             )
             for row in rows
+        ] + [
+            fault_app_report(fault.to_dict())
+            for fault in runner.last_faults
         ])
         _emit_report_outputs(args, report)
     print(render_table1(rows))
@@ -335,7 +372,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     if args.csv:
         save_result_analysis(rows, args.csv)
         print(f"\nwrote {args.csv}")
-    return 0
+    return _report_faults(runner)
 
 
 def cmd_nosleep(args: argparse.Namespace) -> int:
@@ -365,7 +402,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     _report_stats(runner)
     _emit_observability(args, runner)
     print(render_figure5(data))
-    return 0
+    return _report_faults(runner)
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -376,7 +413,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
     _report_stats(runner)
     _emit_observability(args, runner)
     print(render_table2(outcomes))
-    return 0
+    return _report_faults(runner)
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
@@ -387,7 +424,7 @@ def cmd_table3(args: argparse.Namespace) -> int:
     _report_stats(runner)
     _emit_observability(args, runner)
     print(render_table3(rows, runner=runner))
-    return 0
+    return _report_faults(runner)
 
 
 def cmd_timing(args: argparse.Namespace) -> int:
@@ -398,7 +435,7 @@ def cmd_timing(args: argparse.Namespace) -> int:
     _report_stats(runner)
     _emit_observability(args, runner)
     print(render_timing(data))
-    return 0
+    return _report_faults(runner)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -419,7 +456,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
         reason = exc.strerror or str(exc)
         raise CliError(f"cannot write benchmark to {out}: {reason}") from exc
     print(f"[bench] wrote {out}", file=sys.stderr)
-    return 0
+    return _report_faults(runner)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .runner import default_cache_dir, ResultCache
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir \
+        else default_cache_dir()
+    if args.cache_command == "prune":
+        if not cache_dir.is_dir():
+            print(f"[cache] {cache_dir} does not exist; nothing to prune",
+                  file=sys.stderr)
+            return 0
+        cache = ResultCache(cache_dir)
+        removed = cache.prune(everything=args.all)
+        what = "entries" if args.all else "quarantined entries"
+        print(f"[cache] pruned {removed} {what} from {cache_dir}",
+              file=sys.stderr)
+        return 0
+    raise CliError(f"unknown cache command {args.cache_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -510,6 +566,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "spans nest under each app's root)")
         p.add_argument("--metrics-out", metavar="PATH",
                        help="write run + per-app metrics as JSON to PATH")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="per-app deadline: overrunning workers are "
+                            "killed and recorded as a timeout fault")
+        p.add_argument("--max-retries", type=int, default=1, metavar="N",
+                       help="re-submissions for transient faults (a lost "
+                            "worker process; default 1); deterministic "
+                            "faults are never retried")
+        going = p.add_mutually_exclusive_group()
+        going.add_argument("--keep-going", action="store_true",
+                           help="record per-app faults and finish the "
+                                "remaining apps (exit code 3 when any "
+                                "app faulted)")
+        going.add_argument("--fail-fast", dest="keep_going",
+                           action="store_false",
+                           help="abort the run on the first app-level "
+                                "fault (default)")
 
     p = sub.add_parser("corpus", help="Table 1 over the 27-app corpus")
     p.add_argument("--validate", action="store_true")
@@ -541,13 +614,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_<YYYY-MM-DD>.json)")
     _add_runner_flags(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("cache", help="manage the on-disk result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pp = cache_sub.add_parser(
+        "prune",
+        help="delete quarantined .json.corrupt entries (--all: everything)",
+    )
+    pp.add_argument("--cache-dir", metavar="PATH",
+                    help="cache directory (default: $NADROID_CACHE_DIR "
+                         "or ~/.cache/nadroid)")
+    pp.add_argument("--all", action="store_true",
+                    help="also delete valid entries, emptying the cache")
+    pp.set_defaults(fn=cmd_cache)
     return parser
 
 
 def main(argv: List[str] = None) -> int:
+    from .resilience import FaultError
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except FaultError as exc:
+        # fail-fast (the default): one app's fault aborted the run
+        print(f"nadroid: error: {exc}", file=sys.stderr)
+        return 2
     except CliError as exc:
         print(f"nadroid: error: {exc}", file=sys.stderr)
         return 2

@@ -31,6 +31,7 @@ from .filters.unsound import UNSOUND_FILTERS
 from .ir import Module
 from .lowering import lower_sources
 from .obs import Span
+from .resilience import checkpoint
 from .race.detector import detect_uaf_warnings, DetectorOptions
 from .race.warnings import PAIR_TYPES, UafWarning
 from .threadify.transform import threadify, ThreadifiedProgram
@@ -120,10 +121,12 @@ def analyze_module(
     config = config or AnalysisConfig()
     spans: List[Span] = list(extra_spans or ())
 
+    checkpoint("modeling")
     with obs.span("modeling") as sp:
         program = threadify(module, manifest)
     spans.append(sp)
 
+    checkpoint("detection")
     with obs.span("detection") as sp:
         with obs.span("pointsto", k=config.k):
             pointsto = run_pointsto(program.module, k=config.k)
@@ -135,6 +138,7 @@ def analyze_module(
             )
     spans.append(sp)
 
+    checkpoint("filtering")
     with obs.span("filtering") as sp:
         ctx = FilterContext(program, pointsto, lockset, config.filters)
         unsound = () if config.filters.sound_only else UNSOUND_FILTERS
@@ -165,6 +169,7 @@ def analyze_app(
     module_name: str = "app",
 ) -> AnalysisResult:
     """Compile MiniDroid sources and run the full nAdroid pipeline."""
+    checkpoint("lowering")
     with obs.span("lowering") as sp:
         module = lower_sources(sources, module_name=module_name, seal=False)
     return analyze_module(module, manifest, config, extra_spans=[sp])

@@ -4,10 +4,11 @@ the Figure 5 effectiveness study (individual and combined application)."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .. import obs
-from ..race.warnings import UafWarning
+from ..race.warnings import UafWarning, Witness
+from ..resilience import checkpoint, CooperativeTimeout, SimulatedWorkerLoss
 from .base import Filter, FilterContext
 from .sound import SOUND_FILTERS
 from .unsound import UNSOUND_FILTERS
@@ -24,6 +25,18 @@ class FilterReport:
     sound_individual: Dict[str, int] = field(default_factory=dict)
     #: warnings (surviving sound) each unsound filter prunes individually
     unsound_individual: Dict[str, int] = field(default_factory=dict)
+    #: filters that crashed and were skipped for the rest of this
+    #: analysis: ``{"filter", "sound", "message"}`` per degradation.
+    #: Skipping is always *safe* (a skipped filter prunes nothing, so
+    #: every warning it would have removed survives); skipping a sound
+    #: filter additionally costs precision the paper's numbers assume,
+    #: which is what :attr:`is_degraded` flags.
+    degraded: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def is_degraded(self) -> bool:
+        """Did a *sound* filter fault (precision below the paper's bar)?"""
+        return any(entry.get("sound") for entry in self.degraded)
 
     @property
     def sound_reduction(self) -> float:
@@ -48,6 +61,57 @@ class FilterPipeline:
         self.ctx = ctx
         self.sound_filters = tuple(sound_filters)
         self.unsound_filters = tuple(unsound_filters)
+        #: filter name -> degradation record; once a filter crashes it is
+        #: skipped for the remainder of this pipeline's lifetime
+        self._faulted: Dict[str, Dict[str, Any]] = {}
+
+    # -- graceful degradation ----------------------------------------------------
+
+    def _record_filter_fault(self, f: Filter, exc: BaseException,
+                             occ=None) -> None:
+        """A filter crashed: disable it, count it, leave a witness.
+
+        Keeping the occurrence is the conservative outcome -- a skipped
+        filter prunes nothing, so no warning is lost; only precision is.
+        """
+        if f.name in self._faulted:
+            return
+        message = f"{type(exc).__name__}: {exc}"
+        self._faulted[f.name] = {
+            "filter": f.name, "sound": bool(f.sound), "message": message,
+        }
+        obs.add("filters.degraded", 1)
+        if occ is not None and occ.witness is None:
+            occ.witness = Witness(
+                kind="filter-fault",
+                detail=(f"filter '{f.name}' crashed and was skipped: "
+                        f"{message}"),
+                data={"filter": f.name, "sound": bool(f.sound)},
+            )
+
+    def _safe_witness(self, f: Filter, occ, warning) -> Optional[Witness]:
+        if f.name in self._faulted:
+            return None
+        try:
+            checkpoint(f"filter:{f.name}")
+            return f.witness(occ, warning, self.ctx)
+        except (CooperativeTimeout, SimulatedWorkerLoss):
+            raise  # deadline/worker-loss semantics outrank degradation
+        except Exception as exc:
+            self._record_filter_fault(f, exc, occ)
+            return None
+
+    def _safe_prunes(self, f: Filter, occ, warning) -> bool:
+        if f.name in self._faulted:
+            return False
+        try:
+            checkpoint(f"filter:{f.name}")
+            return f.prunes(occ, warning, self.ctx)
+        except (CooperativeTimeout, SimulatedWorkerLoss):
+            raise
+        except Exception as exc:
+            self._record_filter_fault(f, exc, occ)
+            return False
 
     # -- combined application ----------------------------------------------------
 
@@ -67,7 +131,7 @@ class FilterPipeline:
         for warning in warnings:
             for occ in warning.occurrences:
                 for f in self.sound_filters:
-                    witness = f.witness(occ, warning, self.ctx)
+                    witness = self._safe_witness(f, occ, warning)
                     if witness is not None:
                         occ.pruned_by = f.name
                         occ.witness = witness
@@ -91,7 +155,7 @@ class FilterPipeline:
                 if not occ.surviving_sound:
                     continue
                 for f in self.unsound_filters:
-                    witness = f.witness(occ, warning, self.ctx)
+                    witness = self._safe_witness(f, occ, warning)
                     if witness is not None:
                         occ.downgraded_by = f.name
                         occ.witness = witness
@@ -111,6 +175,8 @@ class FilterPipeline:
                 report.potential - report.after_sound)
         obs.add("filters.dropped_unsound",
                 report.after_sound - report.after_unsound)
+        report.degraded = [self._faulted[name]
+                           for name in sorted(self._faulted)]
         return report
 
     # -- individual application (Figure 5) ------------------------------------------
@@ -128,7 +194,7 @@ class FilterPipeline:
                 if not require_sound_survivor or occ.surviving_sound
             ]
             if occurrences and all(
-                f.prunes(occ, warning, self.ctx) for occ in occurrences
+                self._safe_prunes(f, occ, warning) for occ in occurrences
             ):
                 count += 1
         return count
@@ -147,7 +213,7 @@ class FilterPipeline:
                 if not require_sound_survivor or occ.surviving_sound
             ]
             if occurrences and all(
-                any(f.prunes(occ, warning, self.ctx) for f in filters)
+                any(self._safe_prunes(f, occ, warning) for f in filters)
                 for occ in occurrences
             ):
                 count += 1
@@ -163,9 +229,11 @@ class FilterPipeline:
         count = 0
         for warning in warnings:
             if warning.occurrences and all(
-                fa.prunes(o, warning, self.ctx) for o in warning.occurrences
+                self._safe_prunes(fa, o, warning)
+                for o in warning.occurrences
             ) and all(
-                fb.prunes(o, warning, self.ctx) for o in warning.occurrences
+                self._safe_prunes(fb, o, warning)
+                for o in warning.occurrences
             ):
                 count += 1
         return count

@@ -45,6 +45,8 @@ def run_bench(runner: CorpusRunner,
     metrics = runner.last_metrics
     per_app: Dict[str, Any] = {}
     for spec, payload in zip(specs, payloads):
+        if "error" in payload:  # faulted app under --keep-going
+            continue
         snapshot = metrics.apps.get(spec.name) if metrics else None
         per_app[spec.name] = {
             "timings": dict(payload["timings"]),

@@ -99,6 +99,8 @@ def run_figure5(apps: Optional[List[AppSpec]] = None,
         unsound_individual={f.name: 0 for f in UNSOUND_FILTERS},
     )
     for payload in payloads:
+        if "error" in payload:  # faulted app under --keep-going: no data
+            continue
         data.potential += payload["potential"]
         data.after_sound += payload["after_sound"]
         data.after_unsound += payload["after_unsound"]

@@ -16,6 +16,7 @@ from .. import obs
 from ..core import AnalysisConfig, analyze_module, AnalysisResult
 from ..corpus import all_apps, AppSpec, FP_CATEGORIES
 from ..race.warnings import PAIR_TYPES
+from ..resilience import checkpoint
 from ..runtime import Simulator, validate_warning
 from .render import render_table
 
@@ -43,6 +44,7 @@ class Table1Row:
 
 def analyze_corpus_app(spec: AppSpec,
                        config: Optional[AnalysisConfig] = None) -> AnalysisResult:
+    checkpoint("lowering")
     with obs.span("lowering") as sp:
         module = spec.compile()
     return analyze_module(
@@ -118,7 +120,11 @@ def run_table1(validate: bool = True, apps: Optional[List[AppSpec]] = None,
         {"validate": validate, "random_attempts": random_attempts,
          "config": config},
     )
-    return [row_from_dict(payload) for payload in payloads]
+    # Faulted apps come back as {"error": ...} envelopes under
+    # --keep-going; the table simply has no row for them (the faults
+    # themselves surface through runner.last_faults and the report).
+    return [row_from_dict(payload) for payload in payloads
+            if "error" not in payload]
 
 
 def render_table1(rows: List[Table1Row]) -> str:

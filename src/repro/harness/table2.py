@@ -71,7 +71,9 @@ def table2_app_data(app_name: str,
                     config: Optional[AnalysisConfig] = None) -> Dict:
     """Classify one app's injections (serializable outcome records)."""
     from .. import obs
+    from ..resilience import checkpoint
 
+    checkpoint("lowering")
     with obs.span("lowering") as sp:
         module = injected_module(app_name)
     result = analyze_module(module, config=config, extra_spans=[sp])
@@ -113,6 +115,7 @@ def run_table2(config: Optional[AnalysisConfig] = None,
     return [
         _outcome_from_dict(record)
         for payload in payloads
+        if "error" not in payload  # faulted app under --keep-going
         for record in payload["outcomes"]
     ]
 

@@ -110,7 +110,10 @@ def _train_data(config: Optional[AnalysisConfig] = None,
         payloads, _ = runner.run(
             "table3", [spec.name for spec in specs], {"config": config}
         )
-    return list(zip(specs, payloads))
+    # Drop faulted apps ({"error": ...} under --keep-going) so training
+    # proceeds on the apps that did analyze.
+    return [(spec, payload) for spec, payload in zip(specs, payloads)
+            if "error" not in payload]
 
 
 def run_table3(config: Optional[AnalysisConfig] = None,

@@ -87,6 +87,8 @@ def run_timing(apps: Optional[List[AppSpec]] = None,
             "timing", [spec.name for spec in specs], {"config": config}
         )
         for spec, payload in zip(specs, payloads):
+            if "error" in payload:  # faulted app under --keep-going
+                continue
             data.per_app[spec.name] = dict(payload["timings"])
         data.analyzed = stats.analyzed
         data.cached = stats.cached

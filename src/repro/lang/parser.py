@@ -25,7 +25,9 @@ accepted and ignored (``final`` on locals is recorded for capture checking).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import sys
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from . import ast
 from .errors import ParseError
@@ -41,6 +43,14 @@ _MODIFIERS = {
     TokenType.FINAL,
 }
 
+#: Hard bound on statement/expression nesting.  The parser is recursive
+#: descent, so without a limit a pathological input (thousands of nested
+#: parentheses, unary chains, or blocks) escalates into Python's
+#: ``RecursionError`` -- an analyzer crash instead of a diagnostic.  Real
+#: MiniDroid sources nest a handful of levels; 64 is far above anything
+#: legitimate while staying well inside the interpreter's stack.
+MAX_NESTING_DEPTH = 64
+
 
 class Parser:
     """Parse one MiniDroid source file into an AST :class:`~ast.Program`."""
@@ -49,6 +59,7 @@ class Parser:
         self.tokens = tokenize(source, filename)
         self.filename = filename
         self.index = 0
+        self._depth = 0
 
     # -- token helpers ---------------------------------------------------------
 
@@ -83,6 +94,19 @@ class Parser:
     def _error(self, message: str) -> ParseError:
         token = self._peek()
         return ParseError(message, token.line, token.column, self.filename)
+
+    def _enter_nesting(self) -> None:
+        """Count one level of recursive nesting; callers pair this with a
+        ``finally: self._depth -= 1``.  Guards both the statement
+        recursion (blocks/if/while) and the expression recursion
+        (parentheses, unary chains, assignment right-hand sides), which
+        are the two ways source text drives the parser's stack."""
+        self._depth += 1
+        if self._depth > MAX_NESTING_DEPTH:
+            raise self._error(
+                f"nesting depth exceeds the MiniDroid limit of "
+                f"{MAX_NESTING_DEPTH}"
+            )
 
     # -- types and modifiers -----------------------------------------------------
 
@@ -258,6 +282,13 @@ class Parser:
         return self._peek(offset + 2).type in (TokenType.ASSIGN, TokenType.SEMI)
 
     def _parse_stmt(self) -> ast.Stmt:
+        self._enter_nesting()
+        try:
+            return self._parse_stmt_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_stmt_inner(self) -> ast.Stmt:
         token = self._peek()
         if token.type is TokenType.LBRACE:
             return self._parse_block()
@@ -373,12 +404,19 @@ class Parser:
         )
 
     def _parse_unary(self) -> ast.Expr:
-        token = self._peek()
-        if token.type in (TokenType.NOT, TokenType.MINUS):
-            self._advance()
-            operand = self._parse_unary()
-            return ast.Unary(str(token.value), operand, line=token.line)
-        return self._parse_postfix()
+        # Every expression-level recursion cycle (parenthesized primary,
+        # assignment rhs, unary chain) passes through here exactly once,
+        # so this is the single choke point for the expression depth guard.
+        self._enter_nesting()
+        try:
+            token = self._peek()
+            if token.type in (TokenType.NOT, TokenType.MINUS):
+                self._advance()
+                operand = self._parse_unary()
+                return ast.Unary(str(token.value), operand, line=token.line)
+            return self._parse_postfix()
+        finally:
+            self._depth -= 1
 
     def _parse_postfix(self) -> ast.Expr:
         expr = self._parse_primary()
@@ -453,6 +491,28 @@ class Parser:
         raise self._error(f"unexpected token {token.value!r} in expression")
 
 
+@contextmanager
+def _nesting_headroom() -> Iterator[None]:
+    """Guarantee the parser's own depth guard fires before the
+    interpreter's.
+
+    One level of MiniDroid nesting costs ~15 interpreter frames (the
+    expression-grammar cascade), so ``MAX_NESTING_DEPTH`` levels plus a
+    deep caller stack (pytest, the worker pool) can reach the default
+    recursion limit before ``_enter_nesting`` trips -- surfacing as a
+    ``RecursionError`` instead of the clean :class:`ParseError`.  Raise
+    the interpreter limit for the duration of the parse so the depth
+    guard is always the binding constraint.
+    """
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, 20_000))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
 def parse_program(source: str, filename: str = "<source>") -> ast.Program:
     """Parse MiniDroid source text into an AST program."""
-    return Parser(source, filename).parse_program()
+    with _nesting_headroom():
+        return Parser(source, filename).parse_program()

@@ -78,6 +78,19 @@ def describe_run(snapshot: MetricsSnapshot) -> str:
     stores = counters.get("runner.cache.stores", 0)
     if hits or misses or stores:
         line += f"; cache: {hits} hits, {misses} misses, {stores} stores"
+    faulted = counters.get("runner.apps.faulted", 0)
+    if faulted:
+        line += f"; {faulted} faulted"
+        timeouts = counters.get("runner.timeouts", 0)
+        if timeouts:
+            line += f" ({timeouts} timed out)"
+    retries = counters.get("runner.retries", 0)
+    if retries:
+        line += f"; {retries} retr{'ies' if retries != 1 else 'y'}"
+    corrupt = counters.get("runner.cache.corrupt", 0)
+    if corrupt:
+        line += f"; {corrupt} corrupt cache entr" \
+                f"{'ies quarantined' if corrupt != 1 else 'y quarantined'}"
     return line
 
 

@@ -17,6 +17,7 @@ from .model import (
     AppReport,
     build_app_report,
     build_report,
+    fault_app_report,
     REPORT_SCHEMA,
     STATUSES,
     warning_id,
@@ -45,6 +46,7 @@ __all__ = [
     "build_report",
     "diff_reports",
     "exit_code",
+    "fault_app_report",
     "load_report",
     "render_app_explanations",
     "render_diff",

@@ -32,19 +32,28 @@ def _warning_to_dict(app_name: str, warning) -> Dict[str, Any]:
     return payload
 
 
+def _app_to_dict(name: str, app: AppReport) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "counts": dict(app.counts),
+        "source": app.source,
+        "metrics": dict(app.metrics),
+        "warnings": [_warning_to_dict(name, w) for w in app.warnings],
+    }
+    # Fault-tolerance keys appear only on runs that needed them, so
+    # fault-free reports stay byte-identical to earlier releases.
+    if app.fault is not None:
+        out["fault"] = dict(app.fault)
+    if app.degraded:
+        out["degraded"] = [dict(entry) for entry in app.degraded]
+    return out
+
+
 def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
     return {
         "schema": report.schema,
         "version": report.version,
         "apps": {
-            name: {
-                "counts": dict(app.counts),
-                "source": app.source,
-                "metrics": dict(app.metrics),
-                "warnings": [
-                    _warning_to_dict(name, w) for w in app.warnings
-                ],
-            }
+            name: _app_to_dict(name, app)
             for name, app in sorted(report.apps.items())
         },
     }
@@ -63,6 +72,8 @@ def report_from_dict(payload: Dict[str, Any]) -> AnalysisReport:
             warnings=[warning_from_dict(w) for w in app["warnings"]],
             source=app.get("source"),
             metrics=dict(app.get("metrics", {})),
+            fault=dict(app["fault"]) if app.get("fault") else None,
+            degraded=[dict(e) for e in app.get("degraded", ())],
         )
         for name, app in payload.get("apps", {}).items()
     ])

@@ -67,6 +67,15 @@ class AppReport:
     #: deterministic analysis counters (witness volume, filter funnel...);
     #: gauges and spans are excluded so reports stay byte-reproducible
     metrics: Dict[str, int] = field(default_factory=dict)
+    #: the structured fault record when this app's analysis failed
+    #: (``{kind, app, stage, message, traceback_digest}``); a faulted app
+    #: has no warnings -- the fault *is* its report
+    fault: Optional[Dict[str, Union[str, int]]] = None
+    #: filters that crashed and were skipped during this app's analysis
+    #: (``{"filter", "sound", "message"}`` each); a non-empty list with a
+    #: sound filter means the warning set may over-approximate less than
+    #: the paper's configuration guarantees
+    degraded: List[Dict[str, Union[str, bool]]] = field(default_factory=list)
 
     def by_status(self) -> Dict[str, List[UafWarning]]:
         out: Dict[str, List[UafWarning]] = {s: [] for s in STATUSES}
@@ -117,12 +126,32 @@ def build_app_report(
     """
     from ..runner.serialize import warning_sort_key
 
+    degraded = list(getattr(result.report, "degraded", ()) or ())
     return AppReport(
         name=name,
         counts=dict(result.counts()),
         warnings=sorted(result.warnings, key=warning_sort_key),
         source=source if source is not None else f"{name}.mjava",
         metrics=_deterministic_counters(metrics),
+        degraded=degraded,
+    )
+
+
+def fault_app_report(fault: Dict[str, Union[str, int]]) -> AppReport:
+    """The report of an app whose analysis *failed*.
+
+    Carries the structured fault record instead of warnings, so the
+    run's report still has one entry per input app and the failure is
+    diffable/exportable like any other outcome.
+    """
+    name = str(fault.get("app", ""))
+    return AppReport(
+        name=name,
+        counts={},
+        warnings=[],
+        source=f"{name}.mjava",
+        metrics={},
+        fault=dict(fault),
     )
 
 

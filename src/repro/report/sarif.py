@@ -117,6 +117,45 @@ def _result(app: AppReport, warning: UafWarning) -> Dict[str, Any]:
     }
 
 
+def _notifications(report: AnalysisReport) -> List[Dict[str, Any]]:
+    """Tool-execution notifications for faulted apps and degraded filters.
+
+    SARIF separates *results* (findings about the code) from
+    *notifications* (conditions of the analysis itself); an app whose
+    analysis failed, or a filter that crashed and was skipped, is the
+    latter.  Levels: an app fault is an ``error``; a crashed *sound*
+    filter is a ``warning`` (the paper's precision bar no longer holds);
+    a crashed unsound filter is a ``note`` (only ranking was lost).
+    """
+    notifications: List[Dict[str, Any]] = []
+    for name, app in sorted(report.apps.items()):
+        if app.fault is not None:
+            fault = app.fault
+            notifications.append({
+                "level": "error",
+                "descriptor": {"id": f"fault/{fault.get('kind', 'fault')}"},
+                "message": {
+                    "text": (f"analysis of app '{name}' failed at stage "
+                             f"'{fault.get('stage', '?')}': "
+                             f"{fault.get('message', '')}"),
+                },
+                "properties": {"fault": dict(fault)},
+            })
+        for entry in app.degraded:
+            notifications.append({
+                "level": "warning" if entry.get("sound") else "note",
+                "descriptor": {"id": "fault/filter"},
+                "message": {
+                    "text": (f"app '{name}': filter '{entry.get('filter')}' "
+                             f"crashed and was skipped "
+                             f"({entry.get('message', '')}); warnings it "
+                             f"would have pruned survive"),
+                },
+                "properties": {"degraded": dict(entry)},
+            })
+    return notifications
+
+
 def report_to_sarif(report: AnalysisReport) -> Dict[str, Any]:
     results: List[Dict[str, Any]] = []
     for _, app in sorted(report.apps.items()):
@@ -124,23 +163,32 @@ def report_to_sarif(report: AnalysisReport) -> Dict[str, Any]:
             if warning.status == "pruned":
                 continue
             results.append(_result(app, warning))
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "nadroid-repro",
+                "version": report.version,
+                "informationUri":
+                    "https://doi.org/10.1145/3168829",
+                "rules": _rules(),
+            },
+        },
+        "results": results,
+    }
+    # The invocation object appears only when there is something to say,
+    # keeping fault-free SARIF byte-identical to earlier releases.
+    notifications = _notifications(report)
+    if notifications:
+        run["invocations"] = [{
+            "executionSuccessful": not any(
+                app.fault is not None for app in report.apps.values()
+            ),
+            "toolExecutionNotifications": notifications,
+        }]
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "nadroid-repro",
-                        "version": report.version,
-                        "informationUri":
-                            "https://doi.org/10.1145/3168829",
-                        "rules": _rules(),
-                    },
-                },
-                "results": results,
-            },
-        ],
+        "runs": [run],
     }
 
 

@@ -76,8 +76,25 @@ def render_explanation(warning: UafWarning,
 
 def render_app_explanations(app: AppReport,
                             statuses: Optional[List[str]] = None) -> str:
-    """Every warning of one app (optionally restricted by status)."""
+    """Every warning of one app (optionally restricted by status).
+
+    A faulted app renders its fault record in place of warnings; a
+    degraded filter is announced up front so a reviewer knows some
+    prunes may be missing below.
+    """
     chunks: List[str] = []
+    if app.fault is not None:
+        return (f"analysis of {app.name} FAILED "
+                f"[{app.fault.get('kind', 'fault')}, stage "
+                f"{app.fault.get('stage', '?')}]: "
+                f"{app.fault.get('message', '')}")
+    for entry in app.degraded:
+        soundness = "sound" if entry.get("sound") else "unsound"
+        chunks.append(
+            f"NOTE: {soundness} filter '{entry.get('filter')}' crashed and "
+            f"was skipped ({entry.get('message', '')}); warnings it would "
+            f"have pruned survive below"
+        )
     for warning in app.warnings:
         if statuses is not None and warning.status not in statuses:
             continue

@@ -1,0 +1,75 @@
+"""Cooperative per-app deadlines for the in-process execution path.
+
+Worker processes are killed by the parent's watchdog when they overrun
+``--timeout`` (see :mod:`repro.resilience.pool`); the in-process path
+(``--jobs 1``, or a single pending app) has no process to kill, so it
+checks a deadline cooperatively at pipeline stage boundaries instead.
+:func:`repro.resilience.checkpoint` calls :func:`check_deadline`, which
+raises :class:`~repro.resilience.errors.CooperativeTimeout` once the
+budget is spent; the runner classifies that into the same canonical
+:class:`~repro.resilience.errors.TimeoutFault` the watchdog produces.
+
+The granularity is deliberately coarse (stage boundaries, plus the
+fault-injection hang loop): a stage stuck in a tight loop will only be
+caught by the watchdog, which is why ``--jobs 2`` is the recommended
+floor when analyzing untrusted inputs (see docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from .errors import CooperativeTimeout
+
+
+class Deadline:
+    """A monotonic-clock budget of ``seconds``, checked cooperatively."""
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = float(seconds)
+        self.expires_at = time.monotonic() + self.seconds
+
+    def remaining(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self) -> None:
+        if self.expired:
+            raise CooperativeTimeout(self.seconds)
+
+
+_DEADLINE: ContextVar[Optional[Deadline]] = ContextVar(
+    "nadroid-deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    return _DEADLINE.get()
+
+
+def check_deadline() -> None:
+    """Raise :class:`CooperativeTimeout` if the active deadline passed."""
+    deadline = _DEADLINE.get()
+    if deadline is not None:
+        deadline.check()
+
+
+@contextmanager
+def deadline_scope(seconds: Optional[float]) -> Iterator[Optional[Deadline]]:
+    """Install a cooperative deadline for the enclosed task (or nothing
+    when ``seconds`` is ``None``)."""
+    if seconds is None:
+        yield None
+        return
+    deadline = Deadline(seconds)
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)

@@ -67,16 +67,37 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: entries quarantined as ``<key>.json.corrupt`` (undecodable JSON)
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename an undecodable entry to ``<key>.json.corrupt``.
+
+        Without this a truncated write (power loss, full disk) would
+        silently re-miss on every run forever; quarantined files keep
+        the evidence around for inspection and are swept by
+        ``repro cache prune``.
+        """
+        try:
+            os.replace(path, path.with_suffix(".json.corrupt"))
+        except OSError:
+            return
+        self.corrupt += 1
 
     def lookup(self, key: str) -> Optional[Dict[str, Any]]:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            # The file exists but is not JSON: quarantine, then miss.
+            self._quarantine(path)
             self.misses += 1
             return None
         # Stale-schema hygiene: an entry written by an older payload
@@ -90,6 +111,23 @@ class ResultCache:
             return None
         self.hits += 1
         return payload
+
+    def prune(self, everything: bool = False) -> int:
+        """Delete quarantined ``.json.corrupt`` files; with
+        ``everything``, delete regular entries too.  Returns the number
+        of files removed."""
+        patterns = ["*/*.json.corrupt"]
+        if everything:
+            patterns.append("*/*.json")
+        removed = 0
+        for pattern in patterns:
+            for path in sorted(self.root.glob(pattern)):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+        return removed
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
         path = self.path_for(key)

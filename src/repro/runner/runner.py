@@ -2,7 +2,8 @@
 
 The corpus drivers (Table 1, Figure 5, Tables 2/3, the timing study) all
 reduce to *one independent analysis per app* followed by aggregation, so
-they share this runner: a ``ProcessPoolExecutor`` fan-out over apps with a
+they share this runner: a process-per-task fan-out over apps (the
+fault-isolating pool of :mod:`repro.resilience.pool`) with a
 content-addressed on-disk result cache in front (see
 :mod:`repro.runner.cache`).
 
@@ -22,12 +23,19 @@ built.  The runner exposes them as :attr:`CorpusRunner.last_metrics`.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import merge_snapshots, MetricsSnapshot, Recorder
 from ..obs import span as obs_span, use as obs_use
+from ..resilience import (
+    active_plan,
+    checkpoint,
+    Fault,
+    FaultPolicy,
+    run_tasks,
+    task_scope,
+)
 from .cache import cache_key, ResultCache
 from .serialize import config_fingerprint
 
@@ -101,9 +109,11 @@ def execute_app_task_observed(kind: str, app_name: str,
     instead of interleaving them.
     """
     recorder = Recorder()
-    with obs_use(recorder):
-        with obs_span(f"app:{app_name}", kind=kind):
-            data = _TASKS[kind](app_name, params)
+    with task_scope(app_name):
+        with obs_use(recorder):
+            with obs_span(f"app:{app_name}", kind=kind):
+                checkpoint("task")
+                data = _TASKS[kind](app_name, params)
     return {"data": data, "obs": recorder.snapshot().to_dict()}
 
 
@@ -129,6 +139,16 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    #: apps that ended in a fault (error envelope) instead of a result
+    faulted: int = 0
+    #: transient-fault re-submissions performed
+    retries: int = 0
+    #: faults that were per-app deadline expiries
+    timeouts: int = 0
+    #: cache entries quarantined as ``.json.corrupt`` during this run
+    cache_corrupt: int = 0
+    #: fault-kind histogram, e.g. ``{"parse": 1, "timeout": 1}``
+    fault_kinds: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -138,14 +158,27 @@ class RunStats:
         """The run's fan-out/cache behaviour as a metrics snapshot --
         the structured form behind every stderr summary and
         ``--metrics-out`` payload."""
+        counters = {
+            "runner.apps.analyzed": self.analyzed,
+            "runner.apps.cached": self.cached,
+            "runner.cache.hits": self.cache_hits,
+            "runner.cache.misses": self.cache_misses,
+            "runner.cache.stores": self.cache_stores,
+        }
+        # Fault-tolerance counters appear only on runs that needed them,
+        # keeping fault-free metrics payloads byte-stable across versions.
+        if self.faulted:
+            counters["runner.apps.faulted"] = self.faulted
+        if self.retries:
+            counters["runner.retries"] = self.retries
+        if self.timeouts:
+            counters["runner.timeouts"] = self.timeouts
+        if self.cache_corrupt:
+            counters["runner.cache.corrupt"] = self.cache_corrupt
+        for kind in sorted(self.fault_kinds):
+            counters[f"runner.faults.{kind}"] = self.fault_kinds[kind]
         return MetricsSnapshot(
-            counters={
-                "runner.apps.analyzed": self.analyzed,
-                "runner.apps.cached": self.cached,
-                "runner.cache.hits": self.cache_hits,
-                "runner.cache.misses": self.cache_misses,
-                "runner.cache.stores": self.cache_stores,
-            },
+            counters=counters,
             gauges={
                 "runner.jobs": float(self.jobs),
                 "runner.wall_seconds": self.wall_seconds,
@@ -179,14 +212,24 @@ class CorpusRunner:
     ``jobs <= 1`` runs in-process (no executor), which is also the
     fallback when only one app misses the cache.  ``cache=None`` disables
     caching entirely.
+
+    ``policy`` governs fault tolerance (per-app timeout, transient
+    retries, keep-going vs fail-fast); the default fails fast with a
+    one-line :class:`~repro.resilience.FaultError`.  Apps that end in a
+    fault under ``keep_going`` come back as ``{"error": {...}}``
+    payloads -- drivers skip them -- and the normalized faults are
+    exposed, in input-app order, as :attr:`last_faults`.
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 policy: Optional[FaultPolicy] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.policy = policy or FaultPolicy()
         self.last_stats: Optional[RunStats] = None
         self.last_metrics: Optional[RunMetrics] = None
+        self.last_faults: List[Fault] = []
 
     @staticmethod
     def _fingerprint(params: Dict[str, Any]) -> Dict[str, Any]:
@@ -196,6 +239,12 @@ class CorpusRunner:
         for name, value in params.items():
             if name != "config":
                 out[name] = value
+        # An active fault-injection plan changes analysis outcomes, so
+        # its digest joins the key: injected results can never poison --
+        # or be satisfied by -- the regular cache.
+        plan = active_plan()
+        if plan is not None:
+            out["fault_plan"] = plan.digest()
         return out
 
     def run(
@@ -212,8 +261,9 @@ class CorpusRunner:
         params = dict(params or {})
         fingerprint = self._fingerprint(params)
         cache_base = (
-            (self.cache.hits, self.cache.misses, self.cache.stores)
-            if self.cache is not None else (0, 0, 0)
+            (self.cache.hits, self.cache.misses, self.cache.stores,
+             self.cache.corrupt)
+            if self.cache is not None else (0, 0, 0, 0)
         )
 
         envelopes: Dict[str, Dict[str, Any]] = {}
@@ -231,43 +281,51 @@ class CorpusRunner:
                     continue
             pending.append(name)
 
+        retries = 0
+        faults: Dict[str, Fault] = {}
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        name: pool.submit(
-                            execute_app_task_observed, kind, name, params
-                        )
-                        for name in pending
-                    }
-                    for name in pending:
-                        envelopes[name] = futures[name].result()
-            else:
-                for name in pending:
-                    envelopes[name] = execute_app_task_observed(
-                        kind, name, params
-                    )
+            outcome = run_tasks(kind, pending, params, self.jobs,
+                                self.policy)
+            envelopes.update(outcome.envelopes)
+            retries = outcome.retries
+            faults = outcome.faults
             if self.cache is not None:
                 for name in pending:
-                    self.cache.store(keys[name], envelopes[name])
+                    # Error envelopes are never cached: a transient
+                    # fault must not replay from disk as a permanent one.
+                    if name not in faults:
+                        self.cache.store(keys[name], envelopes[name])
 
         stats = RunStats(
-            analyzed=len(pending),
+            analyzed=len(pending) - len(faults),
             cached=len(envelopes) - len(pending),
             wall_seconds=time.perf_counter() - start,
             jobs=self.jobs,
+            faulted=len(faults),
+            retries=retries,
         )
+        for fault in faults.values():
+            stats.fault_kinds[fault.kind] = \
+                stats.fault_kinds.get(fault.kind, 0) + 1
+        stats.timeouts = stats.fault_kinds.get("timeout", 0)
         if self.cache is not None:
             stats.cache_hits = self.cache.hits - cache_base[0]
             stats.cache_misses = self.cache.misses - cache_base[1]
             stats.cache_stores = self.cache.stores - cache_base[2]
+            stats.cache_corrupt = self.cache.corrupt - cache_base[3]
         self.last_stats = stats
+        self.last_faults = [faults[name] for name in app_names
+                            if name in faults]
         self.last_metrics = RunMetrics(
             run=stats.to_snapshot(),
             apps={
                 name: MetricsSnapshot.from_dict(envelopes[name]["obs"])
-                for name in app_names if name in envelopes
+                for name in app_names
+                if name in envelopes and "obs" in envelopes[name]
             },
         )
-        return [envelopes[name]["data"] for name in app_names], stats
+        return [
+            envelopes[name]["data"] if "data" in envelopes[name]
+            else {"error": envelopes[name]["error"]}
+            for name in app_names
+        ], stats

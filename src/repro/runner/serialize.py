@@ -121,13 +121,18 @@ def warning_from_dict(data: Dict[str, Any]) -> UafWarning:
 
 
 def _report_to_dict(report: FilterReport) -> Dict[str, Any]:
-    return {
+    out = {
         "potential": report.potential,
         "after_sound": report.after_sound,
         "after_unsound": report.after_unsound,
         "sound_individual": dict(report.sound_individual),
         "unsound_individual": dict(report.unsound_individual),
     }
+    # Emitted only when a filter actually degraded, so fault-free
+    # payloads stay byte-identical to earlier releases.
+    if report.degraded:
+        out["degraded"] = [dict(entry) for entry in report.degraded]
+    return out
 
 
 def _report_from_dict(data: Dict[str, Any]) -> FilterReport:
@@ -137,6 +142,7 @@ def _report_from_dict(data: Dict[str, Any]) -> FilterReport:
         after_unsound=data["after_unsound"],
         sound_individual=dict(data["sound_individual"]),
         unsound_individual=dict(data["unsound_individual"]),
+        degraded=[dict(entry) for entry in data.get("degraded", ())],
     )
 
 

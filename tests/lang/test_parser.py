@@ -172,3 +172,30 @@ def test_final_local_recorded():
     cls = parse_one("class A { void m() { final String s = \"x\"; } }")
     decl = cls.method_decls()[0].body.statements[0]
     assert decl.is_final
+
+
+def test_pathological_expression_nesting_is_a_parse_error():
+    # 500 nested parens used to blow the interpreter's recursion limit
+    # (RecursionError escaping as an analysis crash); the parser now
+    # enforces its own depth budget and reports a clean source error.
+    depth = 500
+    source = "class A { void m() { int x = " + "(" * depth + "1" \
+        + ")" * depth + "; } }"
+    with pytest.raises(ParseError, match="nesting depth"):
+        parse_program(source)
+
+
+def test_pathological_statement_nesting_is_a_parse_error():
+    depth = 500
+    body = "if (c) { " * depth + "x = 1;" + " }" * depth
+    source = "class A { boolean c; int x; void m() { " + body + " } }"
+    with pytest.raises(ParseError, match="nesting depth"):
+        parse_program(source)
+
+
+def test_reasonable_nesting_still_parses():
+    depth = 40
+    source = "class A { void m() { int x = " + "(" * depth + "1" \
+        + ")" * depth + "; } }"
+    cls = parse_one(source)
+    assert cls.method_decls()[0].name == "m"
