@@ -6,7 +6,8 @@ analysis over the MiniDroid IR:
 
 * **Heap abstraction** -- an abstract object is a tuple of at most ``k``
   allocation sites: the site itself followed by the (truncated) context of
-  the allocating method's receiver.
+  the allocating method's receiver.  Heap-object and context tuples are
+  interned, so equal abstractions share one instance across the whole run.
 * **Method contexts** -- an instance method is analyzed once per abstract
   receiver object; static methods are analyzed in the empty context, which
   reproduces the imprecision the paper calls out in section 8.5 ("objects
@@ -18,6 +19,17 @@ analysis over the MiniDroid IR:
 
 The analysis is flow-insensitive (like Chord's) and runs to a global
 fixpoint from the synthetic ``DummyMain.main`` entry point.
+
+**Worklist solver.**  The fixpoint is demand-driven: while a
+``(method, context)`` pair is processed, every points-to slot it reads
+(variable, field, or static) is recorded as a dependency edge, and a
+write that grows a slot re-enqueues exactly the pairs that read it --
+instead of re-processing every reachable pair until global quiescence.
+Pairs are processed in rounds; within a round the frontier is sorted, so
+the schedule (and therefore every ``pointsto.*`` counter) is independent
+of hash seeds and worker processes.  The least fixpoint itself is unique
+(the transfer functions are monotone over finite lattices), so the
+result is identical to the exhaustive solver's, pair for pair.
 """
 
 from __future__ import annotations
@@ -50,6 +62,10 @@ HeapObject = Tuple[str, ...]
 Context = Tuple[str, ...]
 
 RETURN_LOCAL = "$ret"
+
+#: divergence guard for the worklist solver (the exhaustive solver used
+#: 1000 global passes; this is the equivalent per-pair budget)
+MAX_PROCESSINGS = 1_000_000
 
 
 @dataclass
@@ -107,6 +123,10 @@ class PointsToResult:
         return sum(sizes) / len(sizes) if sizes else 0.0
 
 
+#: a unit of worklist work: one (method qname, context) pair
+Pair = Tuple[str, Context]
+
+
 class PointsToAnalysis:
     """Run the analysis on a sealed module."""
 
@@ -123,7 +143,40 @@ class PointsToAnalysis:
         self.site_class: Dict[str, str] = {}
         self.cs_call_edges: Dict[Tuple[str, Context, int], Set[Tuple[str, Context]]] = defaultdict(set)
         self.contexts: Dict[str, Set[Context]] = defaultdict(set)
-        self._dirty = True
+        # -- worklist machinery ------------------------------------------------
+        #: slot key -> pairs that read it; slot keys are
+        #: ("v", method, ctx, local) / ("f", obj, ref) / ("s", ref)
+        self._readers: Dict[Tuple, Set[Pair]] = defaultdict(set)
+        #: the pair currently being processed (dependency sink)
+        self._current: Optional[Pair] = None
+        #: pairs dirtied for the *next* round
+        self._dirty: Set[Pair] = set()
+        #: unprocessed remainder of the *current* round's frontier
+        self._in_frontier: Set[Pair] = set()
+        #: interning table for heap-object / context tuples
+        self._interned: Dict[Tuple[str, Context], HeapObject] = {}
+        self._pushed = 0
+        self._popped = 0
+        self._skipped = 0
+
+    # -- worklist helpers -------------------------------------------------------
+
+    def _push(self, pair: Pair) -> None:
+        """Schedule a pair; a pair already awaiting processing is not
+        enqueued twice (it will observe the new facts anyway)."""
+        if pair in self._in_frontier or pair in self._dirty:
+            self._skipped += 1
+            return
+        self._dirty.add(pair)
+        self._pushed += 1
+
+    def _invalidate(self, slot: Tuple) -> None:
+        for pair in self._readers.get(slot, ()):
+            self._push(pair)
+
+    def _depend(self, slot: Tuple) -> None:
+        if self._current is not None:
+            self._readers[slot].add(self._current)
 
     # -- lattice helpers --------------------------------------------------------
 
@@ -135,7 +188,7 @@ class PointsToAnalysis:
         before = len(slot)
         slot |= objs
         if len(slot) != before:
-            self._dirty = True
+            self._invalidate(("v", method, ctx, local))
 
     def _add_field(self, obj: HeapObject, ref: FieldRef,
                    objs: Set[HeapObject]) -> None:
@@ -145,7 +198,7 @@ class PointsToAnalysis:
         before = len(slot)
         slot |= objs
         if len(slot) != before:
-            self._dirty = True
+            self._invalidate(("f", obj, ref))
 
     def _add_static(self, ref: FieldRef, objs: Set[HeapObject]) -> None:
         if not objs:
@@ -154,17 +207,38 @@ class PointsToAnalysis:
         before = len(slot)
         slot |= objs
         if len(slot) != before:
-            self._dirty = True
+            self._invalidate(("s", ref))
+
+    def _read_var(self, method: str, ctx: Context,
+                  local: str) -> Set[HeapObject]:
+        self._depend(("v", method, ctx, local))
+        return self.var_pts.get((method, ctx, local), set())
+
+    def _read_field(self, obj: HeapObject, ref: FieldRef) -> Set[HeapObject]:
+        self._depend(("f", obj, ref))
+        return self.field_pts.get((obj, ref), set())
+
+    def _read_static(self, ref: FieldRef) -> Set[HeapObject]:
+        self._depend(("s", ref))
+        return self.static_pts.get(ref, set())
 
     def _get(self, method: str, ctx: Context, operand) -> Set[HeapObject]:
         if isinstance(operand, Local):
-            return self.var_pts.get((method, ctx, operand.name), set())
+            return self._read_var(method, ctx, operand.name)
         return set()  # constants (incl. null) point to nothing
 
     def _heap_object(self, site: str, ctx: Context) -> HeapObject:
-        if self.k == 0:
-            return (site,)
-        return tuple([site, *ctx])[: self.k]
+        # Interned: one tuple instance per abstraction, so the hash sets
+        # downstream compare by identity on the fast path.
+        key = (site, ctx)
+        obj = self._interned.get(key)
+        if obj is None:
+            if self.k == 0:
+                obj = (site,)
+            else:
+                obj = tuple([site, *ctx])[: self.k]
+            obj = self._interned.setdefault(key, obj)
+        return obj
 
     def _callee_context(self, receiver: HeapObject) -> Context:
         return receiver if self.k > 0 else ()
@@ -181,27 +255,43 @@ class PointsToAnalysis:
         if entry_method is None:
             raise ValueError(f"entry method {self.entry} not found")
         self.contexts[self.entry].add(())
+        self._push((self.entry, ()))
 
-        # Global fixpoint: reprocess every reachable (method, context) until
-        # nothing changes.  Flow-insensitive, so instruction order within a
-        # pass is irrelevant to the final result.
-        passes = 0
+        # Worklist fixpoint: process dirtied (method, context) pairs in
+        # sorted rounds until quiescence.  A pair is dirtied when a slot
+        # it read on a previous processing grows, or when it is first
+        # discovered as a call target.
+        rounds = 0
         while self._dirty:
-            self._dirty = False
-            passes += 1
-            if passes > 1000:  # pragma: no cover - divergence guard
-                raise RuntimeError("points-to analysis failed to converge")
-            for qname in list(self.contexts):
+            rounds += 1
+            frontier = sorted(self._dirty)
+            self._dirty = set()
+            self._in_frontier = set(frontier)
+            for pair in frontier:
+                self._in_frontier.discard(pair)
+                qname, ctx = pair
                 method = self._method_by_qname(qname)
                 if method is None:
                     continue
-                for ctx in list(self.contexts[qname]):
+                self._popped += 1
+                if self._popped > MAX_PROCESSINGS:  # pragma: no cover
+                    raise RuntimeError(
+                        "points-to analysis failed to converge"
+                    )
+                self._current = pair
+                try:
                     self._process(method, qname, ctx)
+                finally:
+                    self._current = None
 
         # Deterministic size metrics for the section 8.8 observability
-        # layer: all are functions of the final fixpoint, not of pass
-        # scheduling, so --jobs 1 and --jobs 4 report identical values.
-        obs.add("pointsto.passes", passes)
+        # layer: all are functions of the final fixpoint or of the
+        # sorted-round schedule, never of hash seeds or parallelism, so
+        # --jobs 1 and --jobs 4 report identical values.
+        obs.add("pointsto.passes", rounds)
+        obs.add("pointsto.worklist.pushed", self._pushed)
+        obs.add("pointsto.worklist.popped", self._popped)
+        obs.add("pointsto.worklist.skipped", self._skipped)
         obs.add("pointsto.contexts",
                 sum(len(ctxs) for ctxs in self.contexts.values()))
         obs.add("pointsto.reachable_methods", len(self.contexts))
@@ -253,7 +343,7 @@ class PointsToAnalysis:
                 ref = self._resolve_field(instr.fieldref)
                 objs: Set[HeapObject] = set()
                 for base in self._get(qname, ctx, instr.base):
-                    objs |= self.field_pts.get((base, ref), set())
+                    objs |= self._read_field(base, ref)
                 self._add_var(qname, ctx, instr.target, objs)
             elif isinstance(instr, PutField):
                 ref = self._resolve_field(instr.fieldref)
@@ -263,7 +353,7 @@ class PointsToAnalysis:
             elif isinstance(instr, GetStatic):
                 ref = self._resolve_field(instr.fieldref)
                 self._add_var(qname, ctx, instr.target,
-                              self.static_pts.get(ref, set()))
+                              self._read_static(ref))
             elif isinstance(instr, PutStatic):
                 ref = self._resolve_field(instr.fieldref)
                 self._add_static(ref, self._get(qname, ctx, instr.value))
@@ -288,16 +378,14 @@ class PointsToAnalysis:
         )
         if callee_ctx not in self.contexts[callee_qname]:
             self.contexts[callee_qname].add(callee_ctx)
-            self._dirty = True
+            self._push((callee_qname, callee_ctx))
         if receiver is not None:
             self._add_var(callee_qname, callee_ctx, "this", {receiver})
         for param, arg in zip(callee.params, instr.args):
             self._add_var(callee_qname, callee_ctx, param.name,
                           self._get(caller_qname, caller_ctx, arg))
         if instr.target is not None:
-            returned = self.var_pts.get(
-                (callee_qname, callee_ctx, RETURN_LOCAL), set()
-            )
+            returned = self._read_var(callee_qname, callee_ctx, RETURN_LOCAL)
             self._add_var(caller_qname, caller_ctx, instr.target, returned)
 
     def _process_invoke(self, method: Method, qname: str, ctx: Context,

@@ -11,7 +11,10 @@ Subcommands:
 * ``table2``           -- injected false-negative study
 * ``table3``           -- DEvA comparison
 * ``timing``           -- section 8.8 stage breakdown
-* ``bench``            -- corpus benchmark writing ``BENCH_<date>.json``
+* ``bench``            -- corpus benchmark writing ``BENCH_<date>.json``;
+  ``--compare OLD.json`` turns it into the perf regression gate
+  (``docs/performance.md``): exit 4 on work-counter or wall-time
+  regressions against the baseline
 * ``cache prune``      -- sweep quarantined (or all) result-cache entries
 
 Observability (``docs/observability.md``): every corpus subcommand and
@@ -438,13 +441,42 @@ def cmd_timing(args: argparse.Namespace) -> int:
     return _report_faults(runner)
 
 
+#: exit code for "the bench compare gate found a perf regression"
+EXIT_BENCH_REGRESSION = 4
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .harness import default_bench_path, run_bench, write_bench
+    import json
+
+    from .harness import (
+        BENCH_SCHEMA, compare_bench, default_bench_path, has_regressions,
+        render_compare, run_bench, write_bench,
+    )
 
     # Bench measures; a warm cache would replay old durations.  Only use
     # the cache when the user explicitly points at one.
     if not args.cache_dir:
         args.no_cache = True
+    if args.compare_time_tolerance < 0:
+        raise CliError("--compare-time-tolerance must be >= 0")
+    baseline = None
+    if args.compare:
+        # load (and validate) the baseline before the expensive run
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot read {args.compare}: {reason}") from exc
+        except ValueError as exc:
+            raise CliError(
+                f"{args.compare} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(baseline, dict) \
+                or baseline.get("schema") != BENCH_SCHEMA:
+            raise CliError(
+                f"{args.compare} is not a nadroid benchmark "
+                f"(expected schema {BENCH_SCHEMA})"
+            )
     runner = _make_runner(args)
     payload = run_bench(runner, apps=_corpus_apps(args))
     _report_stats(runner)
@@ -456,7 +488,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         reason = exc.strerror or str(exc)
         raise CliError(f"cannot write benchmark to {out}: {reason}") from exc
     print(f"[bench] wrote {out}", file=sys.stderr)
-    return _report_faults(runner)
+    code = _report_faults(runner)
+    if baseline is not None:
+        comparison = compare_bench(
+            baseline, payload,
+            time_tolerance=args.compare_time_tolerance,
+        )
+        print(render_compare(comparison))
+        if has_regressions(comparison):
+            code = max(code, EXIT_BENCH_REGRESSION)
+    return code
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -612,6 +653,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict to these corpus apps (default: all 27)")
     p.add_argument("--out", metavar="PATH",
                    help="output path (default: BENCH_<YYYY-MM-DD>.json)")
+    p.add_argument("--compare", metavar="OLD.json",
+                   help="diff against a baseline benchmark: print the "
+                        "per-app wall-time delta table and exit 4 on "
+                        "work-counter or wall-time regressions")
+    p.add_argument("--compare-time-tolerance", type=float, default=0.25,
+                   metavar="FRAC",
+                   help="relative wall-time growth allowed per app "
+                        "before --compare fails (default 0.25 = 25%%); "
+                        "widen when the baseline came from a different "
+                        "machine -- counters always gate exactly")
     _add_runner_flags(p)
     p.set_defaults(fn=cmd_bench)
 

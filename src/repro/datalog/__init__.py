@@ -1,12 +1,20 @@
 """Stratified semi-naive Datalog engine (the bddbddb/Chord substrate)."""
 
 from .chord import build_race_program, datalog_racy_pairs
-from .engine import evaluate, query, StratificationError, stratify
+from .engine import evaluate, query, stratify, MAX_INDEXES_PER_PREDICATE
+from .errors import (
+    BuiltinTypeError,
+    DatalogError,
+    StratificationError,
+    UnboundVariableError,
+)
 from .parser import DatalogSyntaxError, parse
 from .terms import is_var, Literal, Program, Rule, Var, vars_
 
 __all__ = [
-    "build_race_program", "datalog_racy_pairs", "DatalogSyntaxError",
-    "evaluate", "is_var", "Literal", "parse", "Program", "query", "Rule",
-    "StratificationError", "stratify", "Var", "vars_",
+    "build_race_program", "BuiltinTypeError", "datalog_racy_pairs",
+    "DatalogError", "DatalogSyntaxError", "evaluate", "is_var", "Literal",
+    "MAX_INDEXES_PER_PREDICATE", "parse", "Program", "query", "Rule",
+    "StratificationError", "stratify", "UnboundVariableError", "Var",
+    "vars_",
 ]

@@ -1,34 +1,57 @@
-"""Stratified semi-naive Datalog evaluation.
+"""Stratified semi-naive Datalog evaluation with join planning.
 
-The engine computes the least model of a program in three steps:
+The engine computes the least model of a program in four steps:
 
 1. **Stratification** -- build the predicate dependency graph; negated
    edges must not appear in a cycle (no negation through recursion).
    Strata are evaluated bottom-up, so a negated literal always refers to a
    fully-computed relation.
-2. **Semi-naive iteration** -- within a stratum, each pass joins each rule
+2. **Query planning** -- once per stratum, each rule body is reordered by
+   boundness: positive literals are joined most-bound-first, and builtins
+   and negated literals float to the earliest point where all their
+   variables are bound.  This is what makes ``X < Y, edge(X, Y)``
+   evaluable (the builtin waits for ``edge`` to bind ``X`` and ``Y``)
+   and what keeps index keys selective.  Delta-eligible literal
+   positions are computed here too, once per stratum instead of per
+   pass.
+3. **Semi-naive iteration** -- within a stratum, each pass joins each rule
    against the *delta* (tuples new in the previous pass) of one positive
    literal at a time, so work is proportional to new facts rather than to
-   the whole database.
-3. **Indexed joins** -- literals are matched left to right with an
-   environment of variable bindings; per-predicate hash indexes on bound
-   positions keep the common equi-joins linear.
+   the whole database.  Delta scans go through a per-pass lazy index of
+   their own.
+4. **Indexed joins** -- per-predicate hash indexes on bound positions
+   keep the common equi-joins linear.  Indexes live in a per-predicate
+   LRU registry (so inserts only touch the owning predicate's indexes,
+   and a rule set probing many position subsets cannot hold unbounded
+   duplicate copies of large relations).
+
+Observability counters: ``datalog.plan.reordered_rules`` and
+``datalog.index.{hits,builds,evictions}`` on top of the existing
+``datalog.{strata,passes,derived_facts,...}`` family.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import defaultdict, OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
+from .errors import (
+    BuiltinTypeError,
+    DatalogError,
+    StratificationError,
+    UnboundVariableError,
+)
 from .terms import is_var, Literal, Program, Rule, Var
 
 Row = Tuple
 Bindings = Dict[Var, object]
 
-
-class StratificationError(Exception):
-    """The program negates a predicate inside a recursive cycle."""
+#: How many distinct position-subset indexes one predicate may hold at
+#: once.  Each index is a full copy of the relation grouped by key, so
+#: the cap bounds index memory at ``MAX_INDEXES_PER_PREDICATE`` copies
+#: per relation; least-recently-used subsets are evicted beyond it.
+MAX_INDEXES_PER_PREDICATE = 8
 
 
 def stratify(program: Program) -> List[List[Rule]]:
@@ -65,13 +88,21 @@ def stratify(program: Program) -> List[List[Rule]]:
 
 
 class _Database:
-    """Relations plus per-(pred, bound positions) hash indexes."""
+    """Relations plus a per-predicate LRU registry of hash indexes."""
 
-    def __init__(self, facts: Dict[str, Set[Row]]) -> None:
+    def __init__(self, facts: Dict[str, Set[Row]],
+                 max_indexes: int = MAX_INDEXES_PER_PREDICATE) -> None:
         self.relations: Dict[str, Set[Row]] = {
             pred: set(rows) for pred, rows in facts.items()
         }
-        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple, List[Row]]] = {}
+        #: pred -> (positions -> key -> rows), LRU-ordered per predicate
+        self._indexes: Dict[
+            str, "OrderedDict[Tuple[int, ...], Dict[Tuple, List[Row]]]"
+        ] = {}
+        self.max_indexes = max_indexes
+        self.index_hits = 0
+        self.index_builds = 0
+        self.index_evictions = 0
 
     def rows(self, pred: str) -> Set[Row]:
         return self.relations.setdefault(pred, set())
@@ -81,9 +112,11 @@ class _Database:
         if row in rel:
             return False
         rel.add(row)
-        # keep indexes fresh
-        for (ipred, positions), index in self._indexes.items():
-            if ipred == pred:
+        # keep this predicate's indexes fresh (other predicates' indexes
+        # are untouched -- inserts no longer scan the whole registry)
+        registry = self._indexes.get(pred)
+        if registry:
+            for positions, index in registry.items():
                 key = tuple(row[i] for i in positions)
                 index.setdefault(key, []).append(row)
         return True
@@ -94,14 +127,49 @@ class _Database:
             return self.rows(pred)
         positions = tuple(sorted(bound))
         key = tuple(bound[i] for i in positions)
-        index_key = (pred, positions)
-        index = self._indexes.get(index_key)
+        registry = self._indexes.setdefault(pred, OrderedDict())
+        index = registry.get(positions)
         if index is None:
             index = {}
             for row in self.rows(pred):
                 k = tuple(row[i] for i in positions)
                 index.setdefault(k, []).append(row)
-            self._indexes[index_key] = index
+            registry[positions] = index
+            self.index_builds += 1
+            if len(registry) > self.max_indexes:
+                registry.popitem(last=False)
+                self.index_evictions += 1
+        else:
+            self.index_hits += 1
+            registry.move_to_end(positions)
+        return index.get(key, ())
+
+
+class _DeltaView:
+    """One pass's delta rows with lazy position indexes of their own.
+
+    Deltas are rebuilt every pass, so these indexes are tiny and
+    short-lived; no cap or eviction is needed.
+    """
+
+    __slots__ = ("rows", "_indexes")
+
+    def __init__(self, rows: Set[Row]) -> None:
+        self.rows = rows
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Row]]] = {}
+
+    def lookup(self, bound: Dict[int, object]) -> Iterable[Row]:
+        if not bound:
+            return self.rows
+        positions = tuple(sorted(bound))
+        key = tuple(bound[i] for i in positions)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                k = tuple(row[i] for i in positions)
+                index.setdefault(k, []).append(row)
+            self._indexes[positions] = index
         return index.get(key, ())
 
 
@@ -151,8 +219,19 @@ def _eval_builtin(literal: Literal, env: Bindings) -> bool:
     fn = _BUILTIN_FUNCS[literal.pred]
     values = []
     for arg in literal.args:
-        values.append(env[arg] if is_var(arg) else arg)
-    result = fn(*values)
+        if is_var(arg):
+            if arg not in env:
+                # Planning defers builtins until their variables are
+                # bound, so this is unreachable for well-formed rules;
+                # the guard turns a raw KeyError into a typed error.
+                raise UnboundVariableError(literal, literal, {arg})
+            values.append(env[arg])
+        else:
+            values.append(arg)
+    try:
+        result = fn(*values)
+    except TypeError as exc:
+        raise BuiltinTypeError(literal, values, exc) from exc
     return not result if literal.negated else result
 
 
@@ -160,39 +239,140 @@ def _instantiate(literal: Literal, env: Bindings) -> Row:
     return tuple(env[a] if is_var(a) else a for a in literal.args)
 
 
+# -- query planning ------------------------------------------------------------
+
+
+def _plan_order(rule: Rule, pinned: Optional[int] = None) -> Tuple[int, ...]:
+    """Order body literal indexes by boundness.
+
+    Greedy: starting from the (optionally pinned-first) literal, place
+    every builtin/negated literal as soon as all its variables are
+    bound, and otherwise pick the positive literal with the most bound
+    argument positions (constants plus already-bound variables),
+    breaking ties by source position so plans are deterministic.
+    """
+    body = rule.body
+    order: List[int] = []
+    bound_vars: Set[Var] = set()
+    remaining = set(range(len(body)))
+
+    def place(i: int) -> None:
+        order.append(i)
+        remaining.discard(i)
+        if not body[i].negated and not body[i].is_builtin:
+            bound_vars.update(body[i].variables())
+
+    if pinned is not None:
+        place(pinned)
+    while remaining:
+        # constrained literals (builtins/negation) run as early as their
+        # variables allow: they only filter, so earlier is cheaper
+        placed = True
+        while placed:
+            placed = False
+            for i in sorted(remaining):
+                lit = body[i]
+                if (lit.is_builtin or lit.negated) \
+                        and lit.variables() <= bound_vars:
+                    place(i)
+                    placed = True
+        if not remaining:
+            break
+        candidates = [
+            i for i in sorted(remaining)
+            if not body[i].is_builtin and not body[i].negated
+        ]
+        if not candidates:
+            # every remaining literal is constrained yet unbound; rule
+            # validation should have rejected this program at load time
+            stuck = body[min(remaining)]
+            raise UnboundVariableError(
+                rule, stuck, stuck.variables() - bound_vars
+            )
+        best = max(
+            candidates,
+            key=lambda i: (
+                sum(
+                    1 for a in body[i].args
+                    if not is_var(a) or a in bound_vars
+                ),
+                -i,
+            ),
+        )
+        place(best)
+    return tuple(order)
+
+
+class _CompiledRule:
+    """Per-stratum rule metadata: plans and delta-eligible positions."""
+
+    __slots__ = ("rule", "body", "base_plan", "delta_positions",
+                 "delta_plans", "reordered")
+
+    def __init__(self, rule: Rule, stratum_preds: Set[str]) -> None:
+        self.rule = rule
+        self.body = rule.body
+        base_order = _plan_order(rule)
+        self.base_plan = tuple(rule.body[i] for i in base_order)
+        self.reordered = base_order != tuple(range(len(rule.body)))
+        #: body indexes that may scan a delta: positive literals over a
+        #: predicate derived in this stratum (computed once, not per pass)
+        self.delta_positions: Tuple[int, ...] = tuple(
+            i for i, lit in enumerate(rule.body)
+            if not lit.is_builtin and not lit.negated
+            and lit.pred in stratum_preds
+        )
+        #: the delta literal is pinned first (deltas are small), then
+        #: the rest of the body is boundness-ordered as usual
+        self.delta_plans: Dict[int, Tuple[Literal, ...]] = {
+            i: tuple(rule.body[j] for j in _plan_order(rule, pinned=i))
+            for i in self.delta_positions
+        }
+
+
+def _compile_stratum(rules: Sequence[Rule],
+                     stratum_preds: Set[str]) -> List[_CompiledRule]:
+    return [_CompiledRule(rule, stratum_preds) for rule in rules]
+
+
+# -- joins ---------------------------------------------------------------------
+
+
 def _join(
     db: _Database,
-    body: List[Literal],
+    body: Sequence[Literal],
     env: Bindings,
     delta_index: Optional[int],
-    delta_rows: Optional[Set[Row]],
+    delta: Optional[_DeltaView],
     position: int = 0,
 ) -> Iterable[Bindings]:
-    """Left-to-right join; literal at ``delta_index`` scans only deltas."""
+    """Left-to-right join of a *planned* body; the literal at
+    ``delta_index`` scans (an index of) the delta instead of the full
+    relation."""
     if position == len(body):
         yield env
         return
     literal = body[position]
     if literal.is_builtin:
         if _eval_builtin(literal, env):
-            yield from _join(db, body, env, delta_index, delta_rows, position + 1)
+            yield from _join(db, body, env, delta_index, delta, position + 1)
         return
     if literal.negated:
         bound = _bound_positions(literal, env)
         for row in db.lookup(literal.pred, bound):
             if _match(literal, row, env) is not None:
                 return  # negated literal satisfied: fail this env
-        yield from _join(db, body, env, delta_index, delta_rows, position + 1)
+        yield from _join(db, body, env, delta_index, delta, position + 1)
         return
 
-    if position == delta_index and delta_rows is not None:
-        source: Iterable[Row] = delta_rows
+    if position == delta_index and delta is not None:
+        source: Iterable[Row] = delta.lookup(_bound_positions(literal, env))
     else:
         source = db.lookup(literal.pred, _bound_positions(literal, env))
     for row in source:
         new_env = _match(literal, row, env)
         if new_env is not None:
-            yield from _join(db, body, new_env, delta_index, delta_rows,
+            yield from _join(db, body, new_env, delta_index, delta,
                              position + 1)
 
 
@@ -206,16 +386,20 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
     strata = stratify(program)
     obs.add("datalog.strata", len(strata))
     obs.add("datalog.edb_facts", sum(len(r) for r in db.relations.values()))
+    reordered_rules = 0
     for stratum in strata:
         rules = [r for r in stratum if r.body]
         stratum_preds = {r.head.pred for r in rules}
+        compiled = _compile_stratum(rules, stratum_preds)
+        reordered_rules += sum(1 for c in compiled if c.reordered)
         # Derivations are buffered per pass so joins never observe a
         # relation mutating underneath them.
         delta: Dict[str, Set[Row]] = defaultdict(set)
         derived: List[Tuple[str, Row]] = []
-        for rule in rules:
-            for env in _join(db, list(rule.body), {}, None, None):
-                derived.append((rule.head.pred, _instantiate(rule.head, env)))
+        for crule in compiled:
+            head = crule.rule.head
+            for env in _join(db, crule.base_plan, {}, None, None):
+                derived.append((head.pred, _instantiate(head, env)))
         for pred, row in derived:
             if db.add(pred, row):
                 delta[pred].add(row)
@@ -224,21 +408,18 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
                 sum(len(rows) for rows in delta.values()))
         # semi-naive iterations
         while any(delta.values()):
+            views = {pred: _DeltaView(rows) for pred, rows in delta.items()
+                     if rows}
             derived = []
-            for rule in rules:
-                body = list(rule.body)
-                for i, literal in enumerate(body):
-                    if literal.is_builtin or literal.negated:
+            for crule in compiled:
+                head = crule.rule.head
+                for i in crule.delta_positions:
+                    view = views.get(crule.body[i].pred)
+                    if view is None:
                         continue
-                    if literal.pred not in stratum_preds:
-                        continue
-                    rows = delta.get(literal.pred)
-                    if not rows:
-                        continue
-                    for env in _join(db, body, {}, i, rows):
-                        derived.append(
-                            (rule.head.pred, _instantiate(rule.head, env))
-                        )
+                    plan = crule.delta_plans[i]
+                    for env in _join(db, plan, {}, 0, view):
+                        derived.append((head.pred, _instantiate(head, env)))
             new_delta: Dict[str, Set[Row]] = defaultdict(set)
             for pred, row in derived:
                 if db.add(pred, row):
@@ -249,6 +430,10 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
                     sum(len(rows) for rows in delta.values()))
     obs.add("datalog.total_facts",
             sum(len(rows) for rows in db.relations.values()))
+    obs.add("datalog.plan.reordered_rules", reordered_rules)
+    obs.add("datalog.index.hits", db.index_hits)
+    obs.add("datalog.index.builds", db.index_builds)
+    obs.add("datalog.index.evictions", db.index_evictions)
     return db.relations
 
 

@@ -1,0 +1,62 @@
+"""Typed errors for the Datalog engine.
+
+Everything the engine can reject -- an unstratifiable program, a builtin
+whose variables no positive literal can bind, a comparison over
+incomparable column types -- derives from :class:`DatalogError`, so
+callers (and the resilience layer's fault taxonomy) can catch one type
+instead of fishing ``KeyError``/``TypeError`` out of join internals.
+
+:class:`UnboundVariableError` doubles as a :class:`ValueError` because
+rule validation historically raised ``ValueError``; existing callers
+keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class DatalogError(Exception):
+    """Base class for every error the Datalog engine raises."""
+
+
+class StratificationError(DatalogError):
+    """The program negates a predicate inside a recursive cycle."""
+
+
+class UnboundVariableError(DatalogError, ValueError):
+    """A builtin or negated literal can never have its variables bound.
+
+    Raised at program-load time (rule construction): the offending
+    variable appears in no positive body literal, so no join order can
+    bind it before the builtin/negated literal is evaluated.
+    """
+
+    def __init__(self, rule: object, literal: object, variables) -> None:
+        self.rule = rule
+        self.literal = literal
+        self.variables = sorted(v.name for v in variables)
+        names = ", ".join(self.variables)
+        super().__init__(
+            f"in rule {rule!r}: literal {literal!r} uses variable(s) "
+            f"{names} not bound by any positive body literal"
+        )
+
+
+class BuiltinTypeError(DatalogError):
+    """A builtin comparison was applied to incomparable values.
+
+    ``<``/``<=`` raise ``TypeError`` when fact columns mix types (e.g.
+    ``int`` vs ``str`` timestamps from a user extension); the engine
+    re-raises it as this error, naming the literal and the offending
+    values, so the resilience layer can record an ``AnalysisFault``
+    instead of crashing the run.
+    """
+
+    def __init__(self, literal: object, values: Sequence, cause: TypeError) -> None:
+        self.literal = literal
+        self.values = tuple(values)
+        rendered = " and ".join(repr(v) for v in self.values)
+        super().__init__(
+            f"builtin {literal!r} cannot compare {rendered}: {cause}"
+        )

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from .errors import UnboundVariableError
+
 
 @dataclass(frozen=True)
 class Var:
@@ -90,9 +92,11 @@ class Rule:
         for lit in self.body:
             if lit.negated or lit.is_builtin:
                 if not lit.variables() <= bound:
-                    raise ValueError(
-                        f"negated/builtin literal {lit!r} uses variables "
-                        f"not bound by positive literals"
+                    # no join order can bind these variables before the
+                    # literal runs: reject at load time, naming the rule
+                    # and the variable(s), instead of a KeyError mid-join
+                    raise UnboundVariableError(
+                        self, lit, lit.variables() - bound
                     )
 
     def predicates_used(self) -> Set[str]:

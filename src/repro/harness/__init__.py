@@ -2,7 +2,11 @@
 
 from .bench import (
     BENCH_SCHEMA,
+    compare_bench,
     default_bench_path,
+    GATED_COUNTERS,
+    has_regressions,
+    render_compare,
     run_bench,
     write_bench,
 )
@@ -46,7 +50,8 @@ from .table3 import (
 from .timing import render_timing, run_timing, TimingData
 
 __all__ = [
-    "analyze_corpus_app", "BENCH_SCHEMA", "build_row", "CSV_COLUMNS",
+    "analyze_corpus_app", "BENCH_SCHEMA", "build_row", "compare_bench",
+    "CSV_COLUMNS", "GATED_COUNTERS", "has_regressions", "render_compare",
     "default_bench_path", "run_bench", "write_bench", "figure5_app_data",
     "Figure5Data", "fp_totals", "result_analysis_csv",
     "save_result_analysis", "write_result_analysis",

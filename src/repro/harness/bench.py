@@ -15,6 +15,14 @@ Runs the corpus through the cached parallel runner and emits a
 
 Only durations may differ between two runs over the same corpus; the
 counters are pinned by ``tests/obs/test_obs.py``.
+
+``bench --compare OLD.json`` is the perf regression gate
+(``docs/performance.md``): :func:`compare_bench` diffs a fresh payload
+against a committed baseline, failing on *work-counter* regressions
+(pass counts, derived facts, worklist processings -- machine-independent
+quantities) and on per-app wall-time regressions beyond a tolerance
+(machine-dependent, so the tolerance is configurable and padded with an
+absolute slack for sub-second apps).
 """
 
 from __future__ import annotations
@@ -27,6 +35,25 @@ from ..obs import merge_snapshots, write_json
 from ..runner import CorpusRunner
 
 BENCH_SCHEMA = 1
+
+#: counters that measure *work done* -- deterministic, machine-independent,
+#: and expected never to grow for the same input.  ``bench --compare``
+#: fails when any of these increases over the baseline.
+GATED_COUNTERS = (
+    "datalog.passes",
+    "datalog.derived_facts",
+    "datalog.total_facts",
+    "datalog.index.builds",
+    "datalog.index.evictions",
+    "pointsto.passes",
+    "pointsto.worklist.popped",
+    "pointsto.worklist.pushed",
+)
+
+#: absolute wall-time slack (seconds) added on top of the relative
+#: tolerance: corpus apps analyze in fractions of a second, where
+#: scheduler noise alone exceeds any sane percentage.
+TIME_SLACK_S = 0.25
 
 
 def default_bench_path(date: Optional[datetime.date] = None) -> str:
@@ -78,3 +105,131 @@ def run_bench(runner: CorpusRunner,
 def write_bench(payload: Dict[str, Any], path: str) -> None:
     """Write the payload canonically (sorted keys, so diffs are clean)."""
     write_json(path, payload)
+
+
+# -- bench --compare: the perf regression gate --------------------------------
+
+
+def compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    time_tolerance: float = 0.25,
+    time_slack: float = TIME_SLACK_S,
+) -> Dict[str, Any]:
+    """Diff two bench payloads; returns a comparison with regressions.
+
+    * **Counter regressions** (hard failures): any :data:`GATED_COUNTERS`
+      entry present in both payloads for the same app whose new value
+      exceeds the old one.
+    * **Time regressions**: per-app ``total`` wall time beyond
+      ``old * (1 + time_tolerance) + time_slack``.  Time is
+      machine-dependent; callers gating in CI against a baseline from
+      another machine should widen ``time_tolerance``.
+
+    Apps present on only one side are reported but never gate.
+    """
+    old_apps = old.get("apps", {})
+    new_apps = new.get("apps", {})
+    shared = sorted(set(old_apps) & set(new_apps))
+    regressions: List[Dict[str, Any]] = []
+    apps: Dict[str, Any] = {}
+    for name in shared:
+        old_entry, new_entry = old_apps[name], new_apps[name]
+        old_s = float(old_entry.get("timings", {}).get("total", 0.0))
+        new_s = float(new_entry.get("timings", {}).get("total", 0.0))
+        counters: Dict[str, Any] = {}
+        for counter in GATED_COUNTERS:
+            old_v = old_entry.get("counters", {}).get(counter)
+            new_v = new_entry.get("counters", {}).get(counter)
+            if old_v is None or new_v is None:
+                continue  # not comparable (engine generations differ)
+            counters[counter] = {"old": old_v, "new": new_v}
+            if new_v > old_v:
+                regressions.append({
+                    "app": name, "kind": "counter", "name": counter,
+                    "old": old_v, "new": new_v,
+                })
+        time_limit = old_s * (1.0 + time_tolerance) + time_slack
+        time_regressed = new_s > time_limit
+        if time_regressed:
+            regressions.append({
+                "app": name, "kind": "time", "name": "total",
+                "old": old_s, "new": new_s,
+            })
+        apps[name] = {
+            "old_s": old_s,
+            "new_s": new_s,
+            "delta_s": new_s - old_s,
+            "delta_pct": ((new_s - old_s) / old_s * 100.0) if old_s else 0.0,
+            "counters": counters,
+            "time_regressed": time_regressed,
+        }
+    return {
+        "old_date": old.get("date"),
+        "new_date": new.get("date"),
+        "time_tolerance": time_tolerance,
+        "time_slack": time_slack,
+        "apps": apps,
+        "only_old": sorted(set(old_apps) - set(new_apps)),
+        "only_new": sorted(set(new_apps) - set(old_apps)),
+        "regressions": regressions,
+    }
+
+
+def has_regressions(comparison: Dict[str, Any]) -> bool:
+    return bool(comparison["regressions"])
+
+
+def render_compare(comparison: Dict[str, Any]) -> str:
+    """The per-app wall-time delta table plus counter verdict lines."""
+    lines: List[str] = []
+    lines.append(
+        f"bench compare: baseline {comparison['old_date']} "
+        f"-> candidate {comparison['new_date']} "
+        f"(time tolerance {comparison['time_tolerance'] * 100:.0f}% "
+        f"+ {comparison['time_slack']:g}s)"
+    )
+    header = (f"{'app':<16} {'old s':>8} {'new s':>8} {'delta':>8} "
+              f"{'popped':>12} {'dl passes':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def _counter_cell(entry: Dict[str, Any], name: str) -> str:
+        pair = entry["counters"].get(name)
+        if pair is None:
+            return "-"
+        if pair["old"] == pair["new"]:
+            return str(pair["new"])
+        return f"{pair['old']}>{pair['new']}"
+
+    for name in sorted(comparison["apps"]):
+        entry = comparison["apps"][name]
+        flag = " !" if entry["time_regressed"] else ""
+        lines.append(
+            f"{name:<16} {entry['old_s']:>8.3f} {entry['new_s']:>8.3f} "
+            f"{entry['delta_pct']:>+7.1f}% "
+            f"{_counter_cell(entry, 'pointsto.worklist.popped'):>12} "
+            f"{_counter_cell(entry, 'datalog.passes'):>10}{flag}"
+        )
+    for name in comparison["only_old"]:
+        lines.append(f"{name:<16} (only in baseline)")
+    for name in comparison["only_new"]:
+        lines.append(f"{name:<16} (only in candidate)")
+    if comparison["regressions"]:
+        lines.append("")
+        for reg in comparison["regressions"]:
+            if reg["kind"] == "counter":
+                lines.append(
+                    f"REGRESSION {reg['app']}: {reg['name']} "
+                    f"{reg['old']} -> {reg['new']}"
+                )
+            else:
+                lines.append(
+                    f"REGRESSION {reg['app']}: wall time "
+                    f"{reg['old']:.3f}s -> {reg['new']:.3f}s"
+                )
+        lines.append(f"{len(comparison['regressions'])} regression(s)")
+    else:
+        lines.append("")
+        lines.append("no regressions")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Worklist-solver tests for the points-to analysis.
+
+The incremental solver must compute exactly the exhaustive solver's
+least fixpoint while re-processing far fewer (method, context) pairs,
+with a deterministic (hash-seed-independent) schedule, and with
+heap-object/context tuples interned to single instances.
+"""
+
+import pytest
+
+from repro import obs
+from repro.analysis import run_pointsto
+from repro.analysis.pointsto import PointsToAnalysis
+from repro.lowering import compile_app
+from repro.threadify import threadify
+
+
+def build(source):
+    return threadify(compile_app(source, seal=False))
+
+
+#: a call chain deep enough that facts discovered late must ripple back
+#: through return values and forward through parameters
+CHAIN_APP = """
+class Holder { Item item; }
+class Item { void poke() { } }
+class L3 {
+  Item get(Holder h) { Item r = h.item; return r; }
+}
+class L2 {
+  L3 next;
+  Item get(Holder h) { Item r = next.get(h); return r; }
+}
+class L1 {
+  L2 next;
+  Item get(Holder h) { Item r = next.get(h); return r; }
+}
+class A extends Activity {
+  Holder holder;
+  L1 chain;
+  void onCreate(Bundle b) {
+    chain = new L1();
+    chain.next = new L2();
+    chain.next.next = new L3();
+    holder = new Holder();
+  }
+  void onResume() {
+    holder.item = new Item();
+    Item it = chain.get(holder);
+    it.poke();
+  }
+}
+"""
+
+
+def counters_for(source, k=2):
+    program = build(source)
+    rec = obs.Recorder()
+    with obs.use(rec):
+        result = run_pointsto(program.module, k=k)
+    return result, rec.snapshot().counters
+
+
+def test_chain_propagates_through_returns_and_params():
+    result, counters = counters_for(CHAIN_APP)
+    objs = result.pts("A.onResume", "it")
+    assert result.classes_of(objs) == {"Item"}
+    # every chain level saw the holder and returned the item
+    for m in ("L1.get", "L2.get", "L3.get"):
+        assert result.classes_of(result.pts(m, "r")) == {"Item"}
+    assert counters["pointsto.worklist.popped"] > 0
+    assert counters["pointsto.worklist.pushed"] == \
+        counters["pointsto.worklist.popped"]
+
+
+def test_worklist_counters_present_and_consistent():
+    _, counters = counters_for(CHAIN_APP)
+    for name in ("pointsto.worklist.pushed", "pointsto.worklist.popped",
+                 "pointsto.worklist.skipped", "pointsto.passes"):
+        assert name in counters, name
+    # the solver processes each discovered pair at least once
+    assert counters["pointsto.worklist.popped"] >= \
+        counters["pointsto.contexts"]
+
+
+def test_worklist_beats_exhaustive_reprocessing():
+    """popped must undercut the old engine's passes * pairs schedule."""
+    _, counters = counters_for(CHAIN_APP)
+    exhaustive = counters["pointsto.passes"] * counters["pointsto.contexts"]
+    assert counters["pointsto.worklist.popped"] * 2 <= exhaustive
+
+
+def test_two_runs_identical_result_and_counters():
+    result_a, counters_a = counters_for(CHAIN_APP)
+    result_b, counters_b = counters_for(CHAIN_APP)
+    assert counters_a == counters_b
+    assert result_a.var_pts == result_b.var_pts
+    assert result_a.field_pts == result_b.field_pts
+    assert result_a.static_pts == result_b.static_pts
+    assert result_a.cs_call_edges == result_b.cs_call_edges
+    assert result_a.contexts == result_b.contexts
+
+
+def test_heap_objects_are_interned():
+    program = build(CHAIN_APP)
+    analysis = PointsToAnalysis(program.module, k=2)
+    analysis.run()
+    seen = {}
+    for objs in analysis.var_pts.values():
+        for obj in objs:
+            canonical = seen.setdefault(obj, obj)
+            assert canonical is obj, "equal heap objects must be one instance"
+
+
+def test_matches_legacy_exhaustive_solver():
+    """Differential check against the pre-worklist global fixpoint."""
+    program = build(CHAIN_APP)
+    fast = run_pointsto(program.module, k=2)
+    slow = _exhaustive_pointsto(program.module, k=2)
+    assert fast.var_pts == slow.var_pts
+    assert fast.field_pts == slow.field_pts
+    assert fast.static_pts == slow.static_pts
+    assert fast.cs_call_edges == slow.cs_call_edges
+    assert fast.contexts == slow.contexts
+    assert fast.site_class == slow.site_class
+
+
+@pytest.mark.parametrize("k", [0, 1, 3])
+def test_matches_legacy_exhaustive_solver_across_k(k):
+    program = build(CHAIN_APP)
+    fast = run_pointsto(program.module, k=k)
+    slow = _exhaustive_pointsto(program.module, k=k)
+    assert fast.var_pts == slow.var_pts
+    assert fast.cs_call_edges == slow.cs_call_edges
+
+
+def _exhaustive_pointsto(module, k):
+    """The old solver: re-process every pair until nothing changes.
+
+    Implemented on top of the production transfer functions by driving
+    them to a global fixpoint manually -- any divergence between the
+    two schedules is a dependency-tracking bug in the worklist.
+    """
+    analysis = PointsToAnalysis(module, k=k)
+    entry = analysis.entry
+    analysis.contexts[entry].add(())
+    changed = True
+    guard = 0
+    while changed:
+        guard += 1
+        assert guard < 1000
+        before = _state_size(analysis)
+        for qname in list(analysis.contexts):
+            method = analysis._method_by_qname(qname)
+            if method is None:
+                continue
+            for ctx in list(analysis.contexts[qname]):
+                analysis._process(method, qname, ctx)
+        changed = _state_size(analysis) != before
+    from repro.analysis.pointsto import PointsToResult
+
+    return PointsToResult(
+        module=module,
+        k=analysis.k,
+        var_pts=dict(analysis.var_pts),
+        field_pts=dict(analysis.field_pts),
+        static_pts=dict(analysis.static_pts),
+        site_class=dict(analysis.site_class),
+        cs_call_edges=dict(analysis.cs_call_edges),
+        contexts=dict(analysis.contexts),
+    )
+
+
+def _state_size(analysis):
+    return (
+        sum(len(s) for s in analysis.var_pts.values()),
+        sum(len(s) for s in analysis.field_pts.values()),
+        sum(len(s) for s in analysis.static_pts.values()),
+        sum(len(s) for s in analysis.cs_call_edges.values()),
+        sum(len(s) for s in analysis.contexts.values()),
+    )

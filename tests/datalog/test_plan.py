@@ -1,0 +1,260 @@
+"""Join planning, typed engine errors, and the index registry.
+
+Covers the two edge-case bugfixes of this PR:
+
+* a builtin written *before* the literal that binds its variables used
+  to die with a raw ``KeyError`` mid-join; planning now defers it,
+* mixed-type ``<``/``<=`` columns used to die with an opaque
+  ``TypeError``; the engine now raises a typed :class:`BuiltinTypeError`
+  naming the literal and values, which the resilience layer records as
+  an ``AnalysisFault``,
+
+plus the bounded per-predicate index registry with LRU eviction.
+"""
+
+import pytest
+
+from repro import obs
+from repro.datalog import (
+    BuiltinTypeError,
+    DatalogError,
+    evaluate,
+    Literal,
+    MAX_INDEXES_PER_PREDICATE,
+    Program,
+    query,
+    Rule,
+    StratificationError,
+    UnboundVariableError,
+    vars_,
+)
+from repro.datalog.engine import _Database, _plan_order
+from repro.datalog.terms import Var as Var_
+
+X, Y, Z, W = vars_("X Y Z W")
+
+
+def lit(pred, *args, negated=False):
+    return Literal(pred, tuple(args), negated=negated)
+
+
+# -- bugfix 1: builtin before its binder ---------------------------------------
+
+
+def test_builtin_before_binder_no_longer_crashes():
+    """``less(X, Y) :- X < Y, edge(X, Y)`` used to raise KeyError."""
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 3, 2).fact("edge", 2, 4)
+        .rule(lit("less", X, Y), lit("<", X, Y), lit("edge", X, Y))
+    )
+    assert query(program, "less") == {(1, 2), (2, 4)}
+
+
+def test_negation_before_binder_no_longer_crashes():
+    program = (
+        Program()
+        .fact("n", 1).fact("n", 2).fact("bad", 2)
+        .rule(lit("good", X), lit("bad", X, negated=True), lit("n", X))
+    )
+    assert query(program, "good") == {(1,)}
+
+
+def test_builtin_between_binders_waits_for_both():
+    program = (
+        Program()
+        .fact("a", 1).fact("a", 5)
+        .fact("b", 3)
+        .rule(lit("p", X, Y), lit("a", X), lit("<", X, Y), lit("b", Y))
+    )
+    assert query(program, "p") == {(1, 3)}
+
+
+def test_unboundable_builtin_rejected_at_load_time():
+    """A builtin variable bound by NO positive literal is a typed,
+    program-load-time error naming the rule and the variable."""
+    with pytest.raises(UnboundVariableError) as info:
+        Program().rule(lit("p", X), lit("n", X), lit("<", X, Y))
+    assert "Y" in str(info.value)
+    assert "p(X)" in str(info.value)  # names the rule
+    assert info.value.variables == ["Y"]
+    # backwards compatible with the historical ValueError contract,
+    # and catchable as the engine-wide base class
+    assert isinstance(info.value, ValueError)
+    assert isinstance(info.value, DatalogError)
+
+
+def test_unboundable_negated_literal_names_rule_and_variable():
+    with pytest.raises(UnboundVariableError) as info:
+        Program().rule(
+            lit("p", X), lit("n", X), lit("m", Y, negated=True)
+        )
+    assert info.value.variables == ["Y"]
+
+
+def test_plan_order_defers_constrained_literals():
+    rule = Rule(lit("less", X, Y),
+                (lit("<", X, Y), lit("edge", X, Y)))
+    assert _plan_order(rule) == (1, 0)
+
+
+def test_plan_order_prefers_bound_literals():
+    # after edge(X, Y), link(Y, Z) shares a variable while iso(W, W2)
+    # shares none: the join should pick link first
+    W2 = vars_("W2")[0]
+    rule = Rule(lit("p", X, Z),
+                (lit("edge", X, Y), lit("iso", W, W2), lit("link", Y, Z)))
+    order = _plan_order(rule)
+    assert order.index(2) < order.index(1)
+
+
+# -- bugfix 2: mixed-type comparisons ------------------------------------------
+
+
+def test_mixed_type_lt_raises_typed_error_naming_values():
+    program = (
+        Program()
+        .fact("t", 1).fact("t", "late")
+        .rule(lit("lt", X, Y), lit("t", X), lit("t", Y), lit("<", X, Y))
+    )
+    with pytest.raises(BuiltinTypeError) as info:
+        query(program, "lt")
+    message = str(info.value)
+    assert "<" in message
+    assert "'late'" in message and "1" in message
+    assert isinstance(info.value, DatalogError)
+    assert set(info.value.values) == {1, "late"}
+
+
+def test_mixed_type_equality_still_works():
+    # == and != are well-defined across types; only orderings raise
+    program = (
+        Program()
+        .fact("t", 1).fact("t", "late")
+        .rule(lit("ne", X, Y), lit("t", X), lit("t", Y), lit("!=", X, Y))
+    )
+    assert query(program, "ne") == {(1, "late"), ("late", 1)}
+
+
+def test_mixed_type_error_routes_to_analysis_fault():
+    from repro.resilience import fault_from_exception
+
+    program = (
+        Program()
+        .fact("t", 1).fact("t", "late")
+        .rule(lit("lt", X, Y), lit("t", X), lit("t", Y), lit("<=", X, Y))
+    )
+    with pytest.raises(BuiltinTypeError) as info:
+        query(program, "lt")
+    fault = fault_from_exception(info.value, "someapp", stage="detection")
+    assert fault.kind == "analysis"
+    assert not fault.transient
+    assert "BuiltinTypeError" in fault.message
+    assert fault.to_dict()["app"] == "someapp"
+
+
+def test_stratification_error_is_a_datalog_error():
+    program = Program()
+    program.fact("n", 1)
+    program.rule(lit("p", X), lit("n", X), lit("q", X, negated=True))
+    program.rule(lit("q", X), lit("n", X), lit("p", X, negated=True))
+    with pytest.raises(DatalogError):
+        evaluate(program)
+    with pytest.raises(StratificationError):
+        evaluate(program)
+
+
+# -- index registry ------------------------------------------------------------
+
+
+def test_database_caps_indexes_per_predicate_with_lru_eviction():
+    rows = {(i, i + 1, i + 2, i % 3) for i in range(50)}
+    db = _Database({"r": rows}, max_indexes=2)
+    db.lookup("r", {0: 1})          # build index on (0,)
+    db.lookup("r", {1: 2})          # build index on (1,)
+    assert db.index_builds == 2 and db.index_evictions == 0
+    db.lookup("r", {0: 3})          # hit (0,), refreshing its recency
+    assert db.index_hits == 1
+    db.lookup("r", {2: 4})          # build (2,): evicts LRU (1,)
+    assert db.index_evictions == 1
+    assert len(db._indexes["r"]) == 2
+    # (1,) was evicted, so probing it again rebuilds
+    db.lookup("r", {1: 2})
+    assert db.index_builds == 4
+    # evicted and rebuilt indexes still answer correctly
+    assert set(db.lookup("r", {1: 2})) == {r for r in rows if r[1] == 2}
+
+
+def test_inserts_only_touch_owning_predicates_indexes():
+    db = _Database({"a": {(1,)}, "b": {(2, 3)}})
+    db.lookup("b", {0: 2})  # build an index on b
+    before = dict(db._indexes["b"])
+    db.add("a", (9,))       # must not touch (or rebuild) b's index
+    assert db._indexes["b"] is not None
+    assert dict(db._indexes["b"]) == before
+    db.add("b", (2, 7))
+    assert set(db.lookup("b", {0: 2})) == {(2, 3), (2, 7)}
+
+
+def test_eviction_counter_reaches_obs():
+    # probe more distinct position subsets of one predicate than the
+    # registry cap: each rule pins constants everywhere except one slot
+    arity = MAX_INDEXES_PER_PREDICATE + 2
+    rows = [tuple(100 * i + j for j in range(arity)) for i in range(6)]
+    program = Program().add_facts("wide", rows)
+    anchor = rows[0]
+    for pos in range(arity):
+        var = Var_(f"P{pos}")
+        args = tuple(
+            var if i == pos else anchor[i] for i in range(arity)
+        )
+        program.rule(Literal(f"probe{pos}", (var,)),
+                     Literal("wide", args))
+    rec = obs.Recorder()
+    with obs.use(rec):
+        relations = evaluate(program)
+    counters = rec.snapshot().counters
+    assert counters["datalog.index.builds"] == arity
+    assert counters["datalog.index.evictions"] == \
+        arity - MAX_INDEXES_PER_PREDICATE
+    # eviction never affects answers
+    for pos in range(arity):
+        assert relations[f"probe{pos}"] == {(anchor[pos],)}
+
+
+def test_plan_counters_emitted():
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 3)
+        .rule(lit("less", X, Y), lit("<", X, Y), lit("edge", X, Y))
+    )
+    rec = obs.Recorder()
+    with obs.use(rec):
+        evaluate(program)
+    counters = rec.snapshot().counters
+    assert counters["datalog.plan.reordered_rules"] == 1
+
+
+def test_multi_delta_literal_rule_correct():
+    """Both occurrences of a recursive predicate must act as deltas."""
+    program = (
+        Program()
+        .fact("base", 1).fact("base", 2)
+        .rule(lit("r", X), lit("base", X))
+        .rule(lit("pair", X, Y), lit("r", X), lit("r", Y))
+        .rule(lit("r", Z), lit("pair", X, Y), lit("sum3", X, Y, Z))
+        .fact("sum3", 1, 2, 3).fact("sum3", 2, 3, 5)
+    )
+    assert query(program, "r") == {(1,), (2,), (3,), (5,)}
+    assert (3, 5) in query(program, "pair")
+
+
+def test_delta_scan_with_constant_positions():
+    program = (
+        Program()
+        .fact("edge", 1, 2).fact("edge", 2, 3).fact("edge", 3, 1)
+        .rule(lit("reach", X), lit("edge", 1, X))
+        .rule(lit("reach", Y), lit("reach", X), lit("edge", X, Y))
+        .rule(lit("back_to_one", X), lit("reach", X), lit("edge", X, 1))
+    )
+    assert query(program, "back_to_one") == {(3,)}
