@@ -8,6 +8,7 @@ from .callbacks import (
     APPLICATION_LIFECYCLE,
     CallbackCategory,
     categorize_entry_callback,
+    FRAGMENT_LIFECYCLE,
     PC_CATEGORY_BY_CALLBACK,
     SERVICE_LIFECYCLE,
     SYSTEM_CALLBACKS,
@@ -26,6 +27,9 @@ from .lifecycle import (
     activity_mhb,
     ACTIVITY_TRANSITIONS,
     ASYNCTASK_MHB,
+    FRAGMENT_MHB,
+    FRAGMENT_TRANSITIONS,
+    ORDERED_BROADCAST_MHB,
     SERVICE_CONNECTION_MHB,
     SERVICE_MHB,
     SERVICE_TRANSITIONS,
@@ -44,8 +48,10 @@ __all__ = [
     "ApiKind", "ApiSpec", "APPLICATION_LIFECYCLE", "ASYNCTASK_MHB",
     "build_framework_classes", "CallbackCategory", "CANCEL_KINDS",
     "categorize_entry_callback", "component_kind_of", "ComponentDecl",
+    "FRAGMENT_LIFECYCLE", "FRAGMENT_MHB", "FRAGMENT_TRANSITIONS",
     "FRAMEWORK_CLASS_NAMES", "FRAMEWORK_SPEC", "infer_manifest",
     "install_framework", "is_framework_class", "lookup_api", "Manifest",
+    "ORDERED_BROADCAST_MHB",
     "PC_CATEGORY_BY_CALLBACK", "POSTING_KINDS", "SERVICE_CONNECTION_MHB",
     "SERVICE_LIFECYCLE", "SERVICE_MHB", "SERVICE_TRANSITIONS",
     "sound_mhb_pairs", "SYSTEM_CALLBACKS", "UI_CALLBACKS",

@@ -26,6 +26,8 @@ class ApiKind(Enum):
     ASYNCTASK_PUBLISH = auto()   #: publishProgress -> onProgressUpdate PC
     BIND_SERVICE = auto()        #: register onServiceConnected/Disconnected PCs
     REGISTER_RECEIVER = auto()   #: register onReceive PC
+    REGISTER_FRAGMENT = auto()   #: FragmentTransaction.add/replace -> fragment PCs
+    SEND_ORDERED_BROADCAST = auto()  #: post result receiver's onReceive PC
     REGISTER_LISTENER = auto()   #: register UI/system entry callbacks
     CANCEL_FINISH = auto()       #: Activity.finish -- no further UI callbacks
     CANCEL_UNBIND = auto()       #: unbindService
@@ -80,6 +82,19 @@ API_TABLE: Dict[Tuple[str, str], ApiSpec] = {
         ApiKind.BIND_SERVICE, 1, ("onServiceConnected", "onServiceDisconnected")),
     ("Context", "registerReceiver"): ApiSpec(
         ApiKind.REGISTER_RECEIVER, 0, ("onReceive",)),
+    ("Context", "sendOrderedBroadcast"): ApiSpec(
+        ApiKind.SEND_ORDERED_BROADCAST, 1, ("onReceive",)),
+    # -- fragments (transaction commit drives the fragment lifecycle) ------------------
+    ("FragmentTransaction", "add"): ApiSpec(
+        ApiKind.REGISTER_FRAGMENT, 1,
+        ("onAttach", "onCreate", "onStart", "onResume",
+         "onPause", "onStop", "onDestroy", "onDetach"),
+    ),
+    ("FragmentTransaction", "replace"): ApiSpec(
+        ApiKind.REGISTER_FRAGMENT, 1,
+        ("onAttach", "onCreate", "onStart", "onResume",
+         "onPause", "onStop", "onDestroy", "onDetach"),
+    ),
     # -- imperative listener registration (entry callbacks, Fig. 3(b)) -----------------
     ("View", "setOnClickListener"): ApiSpec(
         ApiKind.REGISTER_LISTENER, 0, ("onClick",)),

@@ -26,6 +26,8 @@ class CallbackCategory(Enum):
     ASYNC_PRE = auto()       #: AsyncTask.onPreExecute (PC)
     ASYNC_PROGRESS = auto()  #: AsyncTask.onProgressUpdate (PC)
     ASYNC_POST = auto()      #: AsyncTask.onPostExecute (PC)
+    FRAGMENT = auto()        #: Fragment lifecycle via a committed transaction (PC)
+    RECEIVER_RESULT = auto() #: result receiver of sendOrderedBroadcast (PC)
 
     def is_entry(self) -> bool:
         return self in (
@@ -41,7 +43,14 @@ ACTIVITY_LIFECYCLE: FrozenSet[str] = frozenset({
 })
 
 SERVICE_LIFECYCLE: FrozenSet[str] = frozenset({
-    "onCreate", "onStartCommand", "onBind", "onUnbind", "onRebind", "onDestroy",
+    "onCreate", "onStartCommand", "onBind", "onUnbind", "onRebind",
+    "onTaskRemoved", "onTimeout", "onDestroy",
+})
+
+#: Fragment lifecycle callbacks delivered after a committed transaction.
+FRAGMENT_LIFECYCLE: FrozenSet[str] = frozenset({
+    "onAttach", "onCreate", "onStart", "onResume",
+    "onPause", "onStop", "onDestroy", "onDetach",
 })
 
 APPLICATION_LIFECYCLE: FrozenSet[str] = frozenset({

@@ -54,6 +54,8 @@ FRAMEWORK_SPEC: Dict[str, dict] = {
         _m("stopService", ["Intent intent"], "boolean"),
         _m("startActivity", ["Intent intent"]),
         _m("sendBroadcast", ["Intent intent"]),
+        _m("sendOrderedBroadcast", ["Intent intent",
+                                    "BroadcastReceiver resultReceiver"]),
         _m("getSystemService", ["String name"], "Object"),
         _m("getApplicationContext", [], "Context"),
     ]),
@@ -92,6 +94,10 @@ FRAMEWORK_SPEC: Dict[str, dict] = {
         _m("onUnbind", ["Intent intent"], "boolean"),
         _m("onRebind", ["Intent intent"]),
         _m("onStartCommand", ["Intent intent", "int flags", "int startId"], "int"),
+        _m("onTaskRemoved", ["Intent rootIntent"]),
+        _m("onTimeout", ["int startId"]),
+        _m("startForeground", ["int id", "Notification notification"]),
+        _m("stopForeground", ["boolean removeNotification"]),
         _m("onLowMemory"),
         _m("stopSelf"),
     ]),
@@ -102,12 +108,15 @@ FRAMEWORK_SPEC: Dict[str, dict] = {
         _m("onCreate"), _m("onTerminate"), _m("onLowMemory"),
     ]),
     "Fragment": dict(super="Object", methods=[
-        # Present so corpus apps can *use* fragments; the threadifier does
-        # not model Fragment callbacks -- reproducing the paper's stated
-        # implementation limitation (section 8.1, Table 3 Browser row).
+        # Fragment callbacks are modeled by the threadifier only when the
+        # fragment reaches the screen through a FragmentTransaction
+        # ``add``/``replace``; fragments wired up any other way stay
+        # invisible -- reproducing the paper's stated implementation
+        # limitation (section 8.1, Table 3 Browser row).
         _m("onAttach", ["Activity activity"]),
         _m("onCreate", ["Bundle savedInstanceState"]),
-        _m("onResume"), _m("onPause"), _m("onDestroy"), _m("onDetach"),
+        _m("onStart"), _m("onResume"), _m("onPause"), _m("onStop"),
+        _m("onDestroy"), _m("onDetach"),
         _m("getActivity", [], "Activity"),
     ]),
     "FragmentManager": dict(super="Object", methods=[
@@ -115,6 +124,9 @@ FRAMEWORK_SPEC: Dict[str, dict] = {
     ]),
     "FragmentTransaction": dict(super="Object", methods=[
         _m("add", ["int containerId", "Fragment fragment"], "FragmentTransaction"),
+        _m("replace", ["int containerId", "Fragment fragment"],
+           "FragmentTransaction"),
+        _m("remove", ["Fragment fragment"], "FragmentTransaction"),
         _m("commit", [], "int"),
     ]),
     # -- event plumbing --------------------------------------------------------

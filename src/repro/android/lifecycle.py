@@ -31,14 +31,40 @@ ACTIVITY_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
 #: started).  Used by the runtime scheduler.
 ACTIVE_STATES: FrozenSet[str] = frozenset({"onStart", "onResume", "onPause"})
 
+#: Service lifecycle including the foreground-service callbacks:
+#: ``onTaskRemoved`` (the user swiped the task away) and ``onTimeout``
+#: (the short-service time limit expired) both fire after the service has
+#: been started and before ``onDestroy`` -- but in no fixed order relative
+#: to each other, which is exactly the ordering gap the generator's
+#: foreground-service patterns exercise.
 SERVICE_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
     "<launch>": ("onCreate",),
     "onCreate": ("onStartCommand", "onBind"),
-    "onStartCommand": ("onStartCommand", "onDestroy"),
+    "onStartCommand": ("onStartCommand", "onTaskRemoved", "onTimeout",
+                       "onDestroy"),
+    "onTaskRemoved": ("onDestroy",),
+    "onTimeout": ("onDestroy",),
     "onBind": ("onUnbind",),
     "onUnbind": ("onRebind", "onDestroy"),
     "onRebind": ("onUnbind",),
     "onDestroy": (),
+}
+
+#: Fragment transaction lifecycle (FragmentTransaction.add/replace ...
+#: commit): attach/create run once up front, destroy/detach once at the
+#: end, and the started/resumed states cycle -- mirroring the Activity
+#: automaton one level down.  Consumed by the MHB-Fragment filter via
+#: :data:`FRAGMENT_MHB`.
+FRAGMENT_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "<launch>": ("onAttach",),
+    "onAttach": ("onCreate",),
+    "onCreate": ("onStart",),
+    "onStart": ("onResume",),
+    "onResume": ("onPause",),
+    "onPause": ("onResume", "onStop"),
+    "onStop": ("onStart", "onDestroy"),
+    "onDestroy": ("onDetach",),
+    "onDetach": (),
 }
 
 
@@ -94,6 +120,11 @@ SERVICE_MHB: FrozenSet[Tuple[str, str]] = frozenset(
     sound_mhb_pairs(SERVICE_TRANSITIONS)
 )
 
+#: Sound MHB pairs among Fragment lifecycle callbacks (MHB-Fragment).
+FRAGMENT_MHB: FrozenSet[Tuple[str, str]] = frozenset(
+    sound_mhb_pairs(FRAGMENT_TRANSITIONS)
+)
+
 
 def activity_mhb(first: str, second: str, ui_callbacks: FrozenSet[str]) -> bool:
     """Does ``first`` must-happen-before ``second`` for one Activity?
@@ -123,4 +154,13 @@ ASYNCTASK_MHB: FrozenSet[Tuple[str, str]] = frozenset({
 #: Service-connection MHB (section 6.1.1, MHB-Service).
 SERVICE_CONNECTION_MHB: FrozenSet[Tuple[str, str]] = frozenset({
     ("onServiceConnected", "onServiceDisconnected"),
+})
+
+#: Ordered-broadcast MHB: every dynamically registered receiver handles an
+#: ordered broadcast *before* the result receiver passed to
+#: ``sendOrderedBroadcast`` runs (Android delivers the result receiver
+#: last).  Encoded as a category-level contract: a registered receiver's
+#: ``onReceive`` must-happen-before a result receiver's ``onReceive``.
+ORDERED_BROADCAST_MHB: FrozenSet[Tuple[str, str]] = frozenset({
+    ("onReceive", "onReceive"),
 })

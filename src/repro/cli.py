@@ -7,6 +7,10 @@ Subcommands:
 * ``diff OLD NEW``     -- compare two report JSONs; the regression gate
 * ``simulate FILE...`` -- execute an app under a random event schedule
 * ``corpus``           -- Table 1 over the 27-app corpus
+* ``corpus generate``  -- write a seeded generated corpus with
+  ground-truth labels (``docs/corpus.md``)
+* ``corpus score``     -- analyze a generated corpus and grade the
+  pipeline against its labels (recall/precision gates)
 * ``figure5``          -- filter-effectiveness study
 * ``table2``           -- injected false-negative study
 * ``table3``           -- DEvA comparison
@@ -14,7 +18,8 @@ Subcommands:
 * ``bench``            -- corpus benchmark writing ``BENCH_<date>.json``;
   ``--compare OLD.json`` turns it into the perf regression gate
   (``docs/performance.md``): exit 4 on work-counter or wall-time
-  regressions against the baseline
+  regressions against the baseline; ``--generated N`` benchmarks a
+  seeded generated corpus instead of the registry apps
 * ``cache prune``      -- sweep quarantined (or all) result-cache entries
 
 Observability (``docs/observability.md``): every corpus subcommand and
@@ -88,17 +93,15 @@ def _make_runner(args: argparse.Namespace):
 
 def _corpus_apps(args: argparse.Namespace):
     """Resolve an optional --apps subset against the registry."""
-    from .corpus import all_apps, app
+    from .corpus import app, UnknownAppError
 
     if not getattr(args, "apps", None):
         return None
     try:
         return [app(name) for name in args.apps]
-    except KeyError as exc:
-        known = ", ".join(sorted(a.name for a in all_apps()))
-        raise CliError(
-            f"unknown corpus app {exc.args[0]!r} (known: {known})"
-        ) from exc
+    except UnknownAppError as exc:
+        # the registry error already names the bad entry and the known apps
+        raise CliError(str(exc)) from exc
 
 
 def _report_stats(runner) -> None:
@@ -378,6 +381,96 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return _report_faults(runner)
 
 
+def _generator_config(args: argparse.Namespace):
+    """Build (and validate) a GeneratorConfig from the generate/score flags."""
+    from .corpus import GeneratorConfig
+
+    if args.count <= 0:
+        raise CliError("--count must be a positive number of apps")
+    if args.min_patterns < 1 or args.max_patterns < args.min_patterns:
+        raise CliError(
+            "--min-patterns/--max-patterns must satisfy 1 <= min <= max"
+        )
+    if not 0.0 <= args.clean_ratio <= 1.0:
+        raise CliError("--clean-ratio must be between 0 and 1")
+    if args.max_filler_classes < 0:
+        raise CliError("--max-filler-classes must be >= 0")
+    return GeneratorConfig(
+        seed=args.seed,
+        count=args.count,
+        min_patterns=args.min_patterns,
+        max_patterns=args.max_patterns,
+        clean_ratio=args.clean_ratio,
+        max_filler_classes=args.max_filler_classes,
+    )
+
+
+def cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from .corpus import generate_corpus, label_manifest
+    from .obs import write_json
+
+    gconfig = _generator_config(args)
+    apps = generate_corpus(gconfig)
+    out = Path(args.out)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+        for app in apps:
+            (out / f"{app.name}.mjava").write_text(app.source)
+        manifest_path = Path(args.manifest_out) if args.manifest_out \
+            else out / "labels.json"
+        write_json(str(manifest_path), label_manifest(gconfig, apps))
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise CliError(f"cannot write generated corpus: {reason}") from exc
+    labels = sum(len(app.labels) for app in apps)
+    clean = sum(1 for app in apps if app.clean)
+    print(f"generated {len(apps)} apps ({labels} labels, {clean} clean) "
+          f"in {out}")
+    print(f"ground-truth manifest: {manifest_path}")
+    return 0
+
+
+def cmd_corpus_score(args: argparse.Namespace) -> int:
+    from .harness import run_generated
+    from .report import render_score, score_generated
+
+    for name, value in (("--fail-under-recall", args.fail_under_recall),
+                        ("--fail-under-precision",
+                         args.fail_under_precision)):
+        if value is not None and not 0.0 <= value <= 1.0:
+            raise CliError(f"{name} must be between 0 and 1")
+    gconfig = _generator_config(args)
+    runner = _make_runner(args)
+    apps, results = run_generated(runner, gconfig)
+    _report_stats(runner)
+    _emit_observability(args, runner)
+    report = score_generated(apps, results)
+    print(render_score(report))
+    if args.score_out:
+        from .obs import write_json
+
+        try:
+            write_json(args.score_out, report.to_dict())
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot write score report to {args.score_out}: {reason}"
+            ) from exc
+        print(f"[score] wrote {args.score_out}", file=sys.stderr)
+    code = _report_faults(runner)
+    if args.fail_under_recall is not None \
+            and report.recall < args.fail_under_recall:
+        print(f"[score] gate: recall {report.recall:.3f} < "
+              f"{args.fail_under_recall}", file=sys.stderr)
+        code = max(code, 1)
+    if args.fail_under_precision is not None \
+            and report.precision < args.fail_under_precision:
+        print(f"[score] gate: precision {report.precision:.3f} < "
+              f"{args.fail_under_precision}", file=sys.stderr)
+        code = max(code, 1)
+    return code
+
+
 def cmd_nosleep(args: argparse.Namespace) -> int:
     from .analysis import run_pointsto
     from .extensions import detect_nosleep
@@ -450,7 +543,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from .harness import (
         BENCH_SCHEMA, compare_bench, default_bench_path, has_regressions,
-        render_compare, run_bench, write_bench,
+        render_compare, run_bench, run_generated_bench, write_bench,
     )
 
     # Bench measures; a warm cache would replay old durations.  Only use
@@ -459,6 +552,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         args.no_cache = True
     if args.compare_time_tolerance < 0:
         raise CliError("--compare-time-tolerance must be >= 0")
+    if args.generated is not None:
+        if args.apps:
+            raise CliError("--generated and --apps are mutually exclusive")
+        if args.generated <= 0:
+            raise CliError("--generated must be a positive number of apps")
     baseline = None
     if args.compare:
         # load (and validate) the baseline before the expensive run
@@ -478,7 +576,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"(expected schema {BENCH_SCHEMA})"
             )
     runner = _make_runner(args)
-    payload = run_bench(runner, apps=_corpus_apps(args))
+    if args.generated is not None:
+        from .corpus import GeneratorConfig
+
+        payload = run_generated_bench(
+            runner, GeneratorConfig(seed=args.seed, count=args.generated)
+        )
+    else:
+        payload = run_bench(runner, apps=_corpus_apps(args))
     _report_stats(runner)
     _emit_observability(args, runner)
     out = args.out or default_bench_path()
@@ -625,7 +730,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="abort the run on the first app-level "
                                 "fault (default)")
 
-    p = sub.add_parser("corpus", help="Table 1 over the 27-app corpus")
+    p = sub.add_parser(
+        "corpus",
+        help="Table 1 over the 27-app corpus; `corpus generate` / "
+             "`corpus score` drive the seeded app generator",
+    )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--csv", metavar="PATH",
                    help="also write a ResultAnalysis.csv-style file")
@@ -634,6 +743,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(p)
     _add_report_flags(p)
     p.set_defaults(fn=cmd_corpus)
+
+    def _add_generator_flags(pp: argparse.ArgumentParser) -> None:
+        pp.add_argument("--seed", type=int, default=42,
+                        help="generator seed (default 42); the same seed "
+                             "reproduces byte-identical apps and labels")
+        pp.add_argument("--count", type=int, default=20, metavar="N",
+                        help="number of apps to generate (default 20)")
+        pp.add_argument("--min-patterns", type=int, default=1, metavar="N",
+                        help="min injected patterns per non-clean app "
+                             "(default 1)")
+        pp.add_argument("--max-patterns", type=int, default=4, metavar="N",
+                        help="max injected patterns per non-clean app "
+                             "(default 4)")
+        pp.add_argument("--clean-ratio", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="fraction of apps generated with no injection "
+                             "at all (default 0.25)")
+        pp.add_argument("--max-filler-classes", type=int, default=2,
+                        metavar="N",
+                        help="up to N inert filler classes per app "
+                             "(default 2)")
+
+    corpus_sub = p.add_subparsers(dest="corpus_command",
+                                  metavar="SUBCOMMAND")
+    pp = corpus_sub.add_parser(
+        "generate",
+        help="write a seeded generated corpus (.mjava sources + "
+             "ground-truth label manifest) to a directory",
+    )
+    _add_generator_flags(pp)
+    pp.add_argument("--out", metavar="DIR", required=True,
+                    help="directory for the generated .mjava sources")
+    pp.add_argument("--manifest-out", metavar="PATH",
+                    help="label manifest path (default: DIR/labels.json)")
+    pp.set_defaults(fn=cmd_corpus_generate)
+
+    pp = corpus_sub.add_parser(
+        "score",
+        help="analyze a seeded generated corpus and grade the pipeline "
+             "against its ground-truth labels",
+    )
+    _add_generator_flags(pp)
+    pp.add_argument("--score-out", metavar="PATH",
+                    help="write the score report as JSON to PATH")
+    pp.add_argument("--fail-under-recall", type=float, default=None,
+                    metavar="FRAC",
+                    help="exit 1 when recall over injected labels falls "
+                         "below FRAC (e.g. 1.0)")
+    pp.add_argument("--fail-under-precision", type=float, default=None,
+                    metavar="FRAC",
+                    help="exit 1 when precision over surviving warnings "
+                         "falls below FRAC")
+    _add_runner_flags(pp)
+    pp.set_defaults(fn=cmd_corpus_score)
 
     for name, fn, help_text in (
         ("figure5", cmd_figure5, "filter effectiveness (Figure 5)"),
@@ -651,6 +814,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--apps", nargs="+", metavar="NAME",
                    help="restrict to these corpus apps (default: all 27)")
+    p.add_argument("--generated", type=int, default=None, metavar="N",
+                   help="stress mode: benchmark N generated apps instead "
+                        "of the registry corpus (mutually exclusive with "
+                        "--apps)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="generator seed for --generated (default 42)")
     p.add_argument("--out", metavar="PATH",
                    help="output path (default: BENCH_<YYYY-MM-DD>.json)")
     p.add_argument("--compare", metavar="OLD.json",

@@ -1,6 +1,22 @@
 """Synthetic 27-application evaluation corpus plus the Table 2 fault
-injector."""
+injector and the seeded ground-truth app generator."""
 
+from .generator import (
+    EXPECT_FILTERED,
+    EXPECT_SURVIVING,
+    generate_app,
+    generate_corpus,
+    generated_app_index,
+    generated_app_name,
+    GeneratedApp,
+    GeneratorConfig,
+    GroundTruthLabel,
+    LABEL_SCHEMA,
+    label_manifest,
+    labels_from_manifest,
+    PATTERN_NAMES,
+    PATTERNS,
+)
 from .registry import (
     all_apps,
     app,
@@ -13,10 +29,15 @@ from .registry import (
     PaperRow,
     test_apps,
     train_apps,
+    UnknownAppError,
 )
 
 __all__ = [
-    "all_apps", "app", "AppSpec", "FP_CATEGORIES", "FP_MISSING_HB",
-    "FP_NOT_REACHABLE", "FP_PATH", "FP_POINTS_TO", "PaperRow",
-    "test_apps", "train_apps",
+    "all_apps", "app", "AppSpec", "EXPECT_FILTERED", "EXPECT_SURVIVING",
+    "FP_CATEGORIES", "FP_MISSING_HB", "FP_NOT_REACHABLE", "FP_PATH",
+    "FP_POINTS_TO", "generate_app", "generate_corpus",
+    "generated_app_index", "generated_app_name", "GeneratedApp",
+    "GeneratorConfig", "GroundTruthLabel", "LABEL_SCHEMA",
+    "label_manifest", "labels_from_manifest", "PaperRow", "PATTERN_NAMES",
+    "PATTERNS", "test_apps", "train_apps", "UnknownAppError",
 ]

@@ -88,13 +88,28 @@ class AppSpec:
 _REGISTRY: Dict[str, AppSpec] = {}
 
 
+class UnknownAppError(KeyError):
+    """Raised when a corpus app name does not exist in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        known = ", ".join(sorted(_REGISTRY))
+        return f"unknown corpus app {self.name!r} (known: {known})"
+
+
 def _app(spec: AppSpec) -> AppSpec:
     _REGISTRY[spec.name] = spec
     return spec
 
 
 def app(name: str) -> AppSpec:
-    return _REGISTRY[name]
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAppError(name) from None
 
 def all_apps() -> List[AppSpec]:
     return list(_REGISTRY.values())

@@ -15,6 +15,8 @@ from ..android.callbacks import CallbackCategory, SYSTEM_CALLBACKS, UI_CALLBACKS
 from ..android.lifecycle import (
     activity_mhb,
     ASYNCTASK_MHB,
+    FRAGMENT_MHB,
+    ORDERED_BROADCAST_MHB,
     SERVICE_CONNECTION_MHB,
     SERVICE_MHB,
 )
@@ -45,10 +47,11 @@ def _mhb_witness(edge: str, use_node, free_node, **extra) -> Witness:
 class MustHappenBeforeFilter(Filter):
     """MHB (section 6.1.1): prune when the use must precede the free.
 
-    Three statically sound MHB sources: the Service connection contract,
-    the AsyncTask contract, and the Activity/Service lifecycle automaton
-    (onCreate before everything, everything before onDestroy -- and
-    nothing else, because of the lifecycle back edges).
+    Five statically sound MHB sources: the Service connection contract,
+    the AsyncTask contract, the Fragment transaction lifecycle, the
+    ordered-broadcast delivery order, and the Activity/Service lifecycle
+    automaton (onCreate before everything, everything before onDestroy --
+    and nothing else, because of the lifecycle back edges).
     """
 
     name = "MHB"
@@ -80,6 +83,25 @@ class MustHappenBeforeFilter(Filter):
         ):
             return _mhb_witness("MHB-AsyncTask", use_node, free_node,
                                 group=use_node.group_key)
+
+        # MHB-Fragment: both callbacks belong to the same committed fragment.
+        if (
+            use_node.group_key is not None
+            and use_node.group_key == free_node.group_key
+            and use_node.group_key.startswith("frag:")
+            and (use_cb, free_cb) in FRAGMENT_MHB
+        ):
+            return _mhb_witness("MHB-Fragment", use_node, free_node,
+                                group=use_node.group_key)
+
+        # MHB-OrderedBroadcast: a dynamically registered receiver handles
+        # an ordered broadcast before the result receiver runs.
+        if (
+            use_node.category is CallbackCategory.RECEIVER
+            and free_node.category is CallbackCategory.RECEIVER_RESULT
+            and (use_cb, free_cb) in ORDERED_BROADCAST_MHB
+        ):
+            return _mhb_witness("MHB-OrderedBroadcast", use_node, free_node)
 
         # MHB-Lifecycle: both callbacks belong to the same component.
         if (

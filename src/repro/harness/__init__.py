@@ -8,7 +8,13 @@ from .bench import (
     has_regressions,
     render_compare,
     run_bench,
+    run_generated_bench,
     write_bench,
+)
+from .generated import (
+    analyze_generated_app,
+    generated_app_data,
+    run_generated,
 )
 from .export import (
     CSV_COLUMNS,
@@ -50,7 +56,9 @@ from .table3 import (
 from .timing import render_timing, run_timing, TimingData
 
 __all__ = [
-    "analyze_corpus_app", "BENCH_SCHEMA", "build_row", "compare_bench",
+    "analyze_corpus_app", "analyze_generated_app", "BENCH_SCHEMA",
+    "build_row", "compare_bench", "generated_app_data", "run_generated",
+    "run_generated_bench",
     "CSV_COLUMNS", "GATED_COUNTERS", "has_regressions", "render_compare",
     "default_bench_path", "run_bench", "write_bench", "figure5_app_data",
     "Figure5Data", "fp_totals", "result_analysis_csv",

@@ -69,13 +69,36 @@ def run_bench(runner: CorpusRunner,
     payloads, stats = runner.run(
         "timing", [spec.name for spec in specs], {"config": config}
     )
+    return _bench_payload(runner, [spec.name for spec in specs],
+                          payloads, stats)
+
+
+def run_generated_bench(runner: CorpusRunner, gconfig,
+                        config=None) -> Dict[str, Any]:
+    """The ``bench --generated N`` stress mode: same payload schema as
+    :func:`run_bench`, over a seeded generated corpus (see
+    :mod:`repro.corpus.generator`) instead of the 27 registry apps."""
+    from ..corpus.generator import generated_app_name
+
+    names = [generated_app_name(gconfig.seed, index)
+             for index in range(gconfig.count)]
+    payloads, stats = runner.run(
+        "gen-timing", names,
+        {"config": config, "generator": gconfig.to_dict()},
+    )
+    return _bench_payload(runner, names, payloads, stats)
+
+
+def _bench_payload(runner: CorpusRunner, names: List[str],
+                   payloads: List[Dict[str, Any]],
+                   stats) -> Dict[str, Any]:
     metrics = runner.last_metrics
     per_app: Dict[str, Any] = {}
-    for spec, payload in zip(specs, payloads):
+    for name, payload in zip(names, payloads):
         if "error" in payload:  # faulted app under --keep-going
             continue
-        snapshot = metrics.apps.get(spec.name) if metrics else None
-        per_app[spec.name] = {
+        snapshot = metrics.apps.get(name) if metrics else None
+        per_app[name] = {
             "timings": dict(payload["timings"]),
             "counters": dict(snapshot.counters) if snapshot else {},
             "gauges": dict(snapshot.gauges) if snapshot else {},

@@ -38,6 +38,13 @@ from .text import (
 )
 from .sarif import report_to_sarif, SARIF_VERSION, write_sarif
 from .diff import diff_reports, exit_code, render_diff, ReportDiff, WarningDelta
+from .score import (
+    render_score,
+    SCORE_SCHEMA,
+    score_generated,
+    ScoredLabel,
+    ScoreReport,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -53,7 +60,12 @@ __all__ = [
     "render_explanation",
     "render_lineage",
     "render_occurrence",
+    "render_score",
     "REPORT_SCHEMA",
+    "SCORE_SCHEMA",
+    "score_generated",
+    "ScoredLabel",
+    "ScoreReport",
     "report_from_dict",
     "report_to_dict",
     "report_to_json",

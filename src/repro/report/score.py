@@ -1,0 +1,290 @@
+"""Ground-truth scoring: generated-corpus labels vs pipeline warnings.
+
+The corpus generator records, for every injected use-after-free pattern,
+exactly which warning the pipeline should produce (class, field, use and
+free source lines) and what should happen to it (``surviving`` vs
+``filtered``).  This module grades a run against those labels:
+
+* **recall** -- the fraction of injected labels the detector produced a
+  matching warning for (at *any* status: a label killed by a filter
+  still counts as detected, it was just classified),
+* **status accuracy** -- the fraction whose surviving-vs-filtered
+  outcome matches the expectation,
+* **precision** -- the fraction of *surviving* warnings that correspond
+  to a label expected to survive (clean apps and filtered-expected
+  labels put false survivors in the denominator),
+* **clean violations** -- clean apps (no injection) with any surviving
+  warning; always expected to be empty.
+
+A warning matches a label when the field matches and *some* occurrence
+hits the label's exact use/free line pair.  Matching is line-based on
+purpose: it is robust to uid/node renumbering across pipeline changes,
+and the generator guarantees one injection per (class, field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..corpus.generator import (
+    EXPECT_SURVIVING,
+    GeneratedApp,
+    GroundTruthLabel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner.serialize import ResultData
+
+SCORE_SCHEMA = 1
+
+#: observed label outcomes
+OBSERVED_MISSED = "missed"          # no matching warning at all
+OBSERVED_SURVIVING = "surviving"    # a matching warning survived all filters
+OBSERVED_FILTERED = "filtered"      # matched, but every match was killed
+
+
+@dataclass
+class ScoredLabel:
+    """One ground-truth label and what the pipeline actually did."""
+
+    label: GroundTruthLabel
+    observed: str                    #: one of the OBSERVED_* constants
+    observed_pair_types: List[str] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return self.observed != OBSERVED_MISSED
+
+    @property
+    def status_ok(self) -> bool:
+        return self.observed == self.label.expected
+
+    @property
+    def pair_type_ok(self) -> bool:
+        """Pair-type agreement, judged only for detected labels."""
+        return self.label.pair_type in self.observed_pair_types
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label.to_dict(),
+            "app": self.label.app,
+            "observed": self.observed,
+            "observed_pair_types": list(self.observed_pair_types),
+            "detected": self.detected,
+            "status_ok": self.status_ok,
+            "pair_type_ok": self.pair_type_ok,
+        }
+
+
+@dataclass
+class ScoreReport:
+    """The graded outcome of one generated-corpus run."""
+
+    labels: List[ScoredLabel] = field(default_factory=list)
+    #: surviving warnings with no surviving-expected label behind them,
+    #: as ``{"app": ..., "field": ..., "use_line": ..., "free_line": ...}``
+    false_survivors: List[Dict[str, Any]] = field(default_factory=list)
+    #: clean apps that produced surviving warnings (expected: none)
+    clean_violations: List[str] = field(default_factory=list)
+    #: apps whose analysis faulted and could not be scored
+    unscored_apps: List[str] = field(default_factory=list)
+    apps_total: int = 0
+    apps_clean: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.labels)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for s in self.labels if s.detected)
+
+    @property
+    def status_correct(self) -> int:
+        return sum(1 for s in self.labels if s.status_ok)
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.total if self.total else 1.0
+
+    @property
+    def status_accuracy(self) -> float:
+        return self.status_correct / self.total if self.total else 1.0
+
+    @property
+    def precision(self) -> float:
+        true_survivors = sum(
+            1 for s in self.labels
+            if s.observed == OBSERVED_SURVIVING
+            and s.label.expected == EXPECT_SURVIVING
+        )
+        denominator = true_survivors + len(self.false_survivors)
+        return true_survivors / denominator if denominator else 1.0
+
+    def by_pattern(self) -> Dict[str, Dict[str, int]]:
+        """Per-pattern breakdown: labels / detected / status-correct."""
+        out: Dict[str, Dict[str, int]] = {}
+        for scored in self.labels:
+            entry = out.setdefault(
+                scored.label.pattern,
+                {"labels": 0, "detected": 0, "status_ok": 0},
+            )
+            entry["labels"] += 1
+            entry["detected"] += int(scored.detected)
+            entry["status_ok"] += int(scored.status_ok)
+        return {pattern: out[pattern] for pattern in sorted(out)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCORE_SCHEMA,
+            "apps": {
+                "total": self.apps_total,
+                "clean": self.apps_clean,
+                "unscored": list(self.unscored_apps),
+            },
+            "totals": {
+                "labels": self.total,
+                "detected": self.detected,
+                "status_correct": self.status_correct,
+                "recall": self.recall,
+                "status_accuracy": self.status_accuracy,
+                "precision": self.precision,
+            },
+            "by_pattern": self.by_pattern(),
+            "labels": [s.to_dict() for s in self.labels],
+            "false_survivors": list(self.false_survivors),
+            "clean_violations": list(self.clean_violations),
+        }
+
+
+def _match_label(label: GroundTruthLabel, result: "ResultData"):
+    """All warnings whose field and some occurrence hit the label's lines."""
+    matched = []
+    for warning in result.warnings:
+        if (warning.fieldref.class_name, warning.fieldref.field_name) != \
+                (label.class_name, label.field_name):
+            continue
+        if any(occ.use.line == label.use_line
+               and occ.free.line == label.free_line
+               for occ in warning.occurrences):
+            matched.append(warning)
+    return matched
+
+
+def score_generated(
+    apps: List[GeneratedApp],
+    results: List[Optional["ResultData"]],
+) -> ScoreReport:
+    """Grade the per-app results (input order) against the apps' labels."""
+    report = ScoreReport(
+        apps_total=len(apps),
+        apps_clean=sum(1 for app in apps if app.clean),
+    )
+    for app, result in zip(apps, results):
+        if result is None:  # faulted under --keep-going
+            report.unscored_apps.append(app.name)
+            continue
+        remaining = result.remaining()
+        if app.clean and remaining:
+            report.clean_violations.append(app.name)
+        matched_surviving = set()
+        for label in app.labels:
+            matched = _match_label(label, result)
+            if not matched:
+                report.labels.append(
+                    ScoredLabel(label=label, observed=OBSERVED_MISSED)
+                )
+                continue
+            surviving = [w for w in matched if w.status == "remaining"]
+            observed = OBSERVED_SURVIVING if surviving else OBSERVED_FILTERED
+            report.labels.append(ScoredLabel(
+                label=label,
+                observed=observed,
+                observed_pair_types=sorted({w.pair_type() for w in matched}),
+            ))
+            for warning in surviving:
+                matched_surviving.add(id(warning))
+                if label.expected != EXPECT_SURVIVING:
+                    # the label matched, but it should have been filtered:
+                    # this survivor is a false positive too
+                    report.false_survivors.append({
+                        "app": app.name,
+                        "field": f"{label.class_name}.{label.field_name}",
+                        "use_line": label.use_line,
+                        "free_line": label.free_line,
+                        "reason": "expected-filtered",
+                    })
+        for warning in remaining:
+            if id(warning) in matched_surviving:
+                continue
+            occ = warning.occurrences[0]
+            report.false_survivors.append({
+                "app": app.name,
+                "field": (f"{warning.fieldref.class_name}."
+                          f"{warning.fieldref.field_name}"),
+                "use_line": occ.use.line,
+                "free_line": occ.free.line,
+                "reason": "unlabeled",
+            })
+    return report
+
+
+def render_score(report: ScoreReport) -> str:
+    """Deterministic text summary (the ``corpus score`` stdout)."""
+    lines: List[str] = []
+    lines.append(
+        f"generated corpus: {report.apps_total} apps "
+        f"({report.apps_clean} clean), {report.total} injected labels"
+    )
+    lines.append(
+        f"recall          : {report.detected}/{report.total} "
+        f"({report.recall * 100:.1f}%)"
+    )
+    lines.append(
+        f"status accuracy : {report.status_correct}/{report.total} "
+        f"({report.status_accuracy * 100:.1f}%)"
+    )
+    lines.append(f"precision       : {report.precision * 100:.1f}%")
+    lines.append("")
+    header = f"{'pattern':<28} {'labels':>6} {'found':>6} {'status':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pattern, entry in report.by_pattern().items():
+        lines.append(
+            f"{pattern:<28} {entry['labels']:>6} {entry['detected']:>6} "
+            f"{entry['status_ok']:>6}"
+        )
+    problems: List[str] = []
+    for scored in report.labels:
+        if scored.observed == OBSERVED_MISSED:
+            problems.append(f"MISSED {scored.label.label_id} "
+                            f"({scored.label.pattern})")
+        elif not scored.status_ok:
+            problems.append(
+                f"WRONG-STATUS {scored.label.label_id} "
+                f"({scored.label.pattern}): expected "
+                f"{scored.label.expected}, observed {scored.observed}"
+            )
+        elif not scored.pair_type_ok:
+            problems.append(
+                f"WRONG-PAIR-TYPE {scored.label.label_id} "
+                f"({scored.label.pattern}): expected "
+                f"{scored.label.pair_type}, observed "
+                f"{','.join(scored.observed_pair_types) or '?'}"
+            )
+    for survivor in report.false_survivors:
+        problems.append(
+            f"FALSE-SURVIVOR {survivor['app']}::{survivor['field']}"
+            f"::{survivor['use_line']}::{survivor['free_line']} "
+            f"({survivor['reason']})"
+        )
+    for name in report.clean_violations:
+        problems.append(f"CLEAN-VIOLATION {name}: surviving warnings in a "
+                        "clean app")
+    for name in report.unscored_apps:
+        problems.append(f"UNSCORED {name}: analysis faulted")
+    if problems:
+        lines.append("")
+        lines.extend(problems)
+    return "\n".join(lines)

@@ -82,12 +82,29 @@ def _task_timing(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
     return {"timings": dict(result.timings)}
 
 
+def _task_generated(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..harness.generated import generated_app_data
+
+    return generated_app_data(app_name, params)
+
+
+def _task_gen_timing(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..harness.generated import analyze_generated_app
+
+    result = analyze_generated_app(
+        app_name, params["generator"], params.get("config")
+    )
+    return {"timings": dict(result.timings)}
+
+
 _TASKS = {
     "table1": _task_table1,
     "figure5": _task_figure5,
     "table2": _task_table2,
     "table3": _task_table3,
     "timing": _task_timing,
+    "generated": _task_generated,
+    "gen-timing": _task_gen_timing,
 }
 
 TASK_KINDS = tuple(sorted(_TASKS))
@@ -117,12 +134,21 @@ def execute_app_task_observed(kind: str, app_name: str,
     return {"data": data, "obs": recorder.snapshot().to_dict()}
 
 
-def _source_for(kind: str, app_name: str) -> str:
+def _source_for(kind: str, app_name: str, params: Dict[str, Any]) -> str:
     """The source text whose content addresses this task's cache entry."""
     if kind == "table2":
         from ..corpus.injector import injected_source
 
         return injected_source(app_name)
+    if kind in ("generated", "gen-timing"):
+        # Generated apps have no registry entry: regenerate the source
+        # from the (config, index) coordinates carried in the params.
+        from ..corpus.generator import (
+            generate_app, generated_app_index, GeneratorConfig,
+        )
+
+        gconfig = GeneratorConfig.from_dict(params["generator"])
+        return generate_app(gconfig, generated_app_index(app_name)).source
     from ..corpus import app
 
     return app(app_name).source()
@@ -273,7 +299,8 @@ class CorpusRunner:
             if name in envelopes or name in pending:
                 continue  # duplicate input name: analyze once
             if self.cache is not None:
-                key = cache_key(kind, _source_for(kind, name), fingerprint)
+                key = cache_key(kind, _source_for(kind, name, params),
+                                fingerprint)
                 keys[name] = key
                 hit = self.cache.lookup(key)
                 if hit is not None:

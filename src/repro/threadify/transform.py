@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..android.api import ApiKind, ApiSpec, lookup_api
 from ..android.callbacks import (
     CallbackCategory,
+    FRAGMENT_LIFECYCLE,
     PC_CATEGORY_BY_CALLBACK,
 )
 from ..android.framework import is_framework_class
@@ -124,12 +125,18 @@ class Threadifier:
         self.module = module
         self.manifest = manifest
         self.synthetic: Set[str] = set()
+        #: ApiKinds that actually occur at application call sites; registry
+        #: channels for the newer APIs (fragments, ordered broadcasts) are
+        #: synthesized only on demand so apps that never touch them produce
+        #: byte-identical facts and forests to earlier versions.
+        self._present_kinds: Set[ApiKind] = set()
 
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
 
     def run(self) -> ThreadifiedProgram:
+        self._present_kinds = self._scan_api_kinds()
         if self.manifest is None:
             self.manifest = infer_manifest(self.module)
             self._drop_dynamic_receivers(self.manifest)
@@ -157,9 +164,29 @@ class Threadifier:
     # Manifest adjustment
     # ------------------------------------------------------------------
 
+    def _scan_api_kinds(self) -> Set[ApiKind]:
+        """ApiKinds referenced by any application call site."""
+        kinds: Set[ApiKind] = set()
+        for method in self.module.methods():
+            if is_framework_class(method.class_name):
+                continue
+            if method.class_name in self.synthetic:
+                continue
+            for instr in method.instructions():
+                if not isinstance(instr, Invoke):
+                    continue
+                spec = lookup_api(
+                    self.module, instr.methodref.class_name,
+                    instr.methodref.method_name,
+                )
+                if spec is not None:
+                    kinds.add(spec.kind)
+        return kinds
+
     def _drop_dynamic_receivers(self, manifest: Manifest) -> None:
         """Inferred manifests list every receiver subclass; receivers that
-        are registered dynamically are posted callbacks, not components."""
+        are registered dynamically -- or passed to ``sendOrderedBroadcast``
+        as the result receiver -- are posted callbacks, not components."""
         dynamic: Set[str] = set()
         rta = instantiated_classes(self.module)
         for method in self.module.methods():
@@ -172,7 +199,9 @@ class Threadifier:
                     self.module, instr.methodref.class_name,
                     instr.methodref.method_name,
                 )
-                if spec is None or spec.kind is not ApiKind.REGISTER_RECEIVER:
+                if spec is None or spec.kind not in (
+                    ApiKind.REGISTER_RECEIVER, ApiKind.SEND_ORDERED_BROADCAST,
+                ):
                     continue
                 arg = instr.args[spec.callback_arg]
                 if isinstance(arg, Local):
@@ -201,6 +230,10 @@ class Threadifier:
         fields.extend(
             (f"$listener_{iface}", iface) for iface in _LISTENER_INTERFACES
         )
+        if ApiKind.REGISTER_FRAGMENT in self._present_kinds:
+            fields.append(("$fragments", "Fragment"))
+        if ApiKind.SEND_ORDERED_BROADCAST in self._present_kinds:
+            fields.append(("$ordered_receivers", "BroadcastReceiver"))
         return fields
 
     def _synthesize_registry(self) -> None:
@@ -255,6 +288,25 @@ class Threadifier:
                 Local(method.params[1].name),
             )
         reg("Context", "bindService", bind_service)
+
+        if ApiKind.REGISTER_FRAGMENT in self._present_kinds:
+            def commit_fragment(builder: IRBuilder, method: Method) -> None:
+                builder.put_static(
+                    FieldRef(REGISTRY_CLASS, "$fragments"),
+                    Local(method.params[1].name),
+                )
+                # Preserve the chaining return value of the original stub.
+                builder.ret(builder.new("FragmentTransaction"))
+            reg("FragmentTransaction", "add", commit_fragment)
+            reg("FragmentTransaction", "replace", commit_fragment)
+
+        if ApiKind.SEND_ORDERED_BROADCAST in self._present_kinds:
+            def ordered_broadcast(builder: IRBuilder, method: Method) -> None:
+                builder.put_static(
+                    FieldRef(REGISTRY_CLASS, "$ordered_receivers"),
+                    Local(method.params[1].name),
+                )
+            reg("Context", "sendOrderedBroadcast", ordered_broadcast)
 
         def thread_init(builder: IRBuilder, method: Method) -> None:
             builder.put_field(
@@ -402,6 +454,15 @@ class Threadifier:
                               "onServiceDisconnected")
         receiver = load("$receivers", "BroadcastReceiver")
         self._invoke_callback(builder, receiver, "BroadcastReceiver", "onReceive")
+        if ApiKind.REGISTER_FRAGMENT in self._present_kinds:
+            fragment = load("$fragments", "Fragment")
+            for callback in ("onAttach", "onCreate", "onStart", "onResume",
+                             "onPause", "onStop", "onDestroy", "onDetach"):
+                self._invoke_callback(builder, fragment, "Fragment", callback)
+        if ApiKind.SEND_ORDERED_BROADCAST in self._present_kinds:
+            ordered = load("$ordered_receivers", "BroadcastReceiver")
+            self._invoke_callback(builder, ordered, "BroadcastReceiver",
+                                  "onReceive")
         for iface in _LISTENER_INTERFACES:
             listener = load(f"$listener_{iface}", iface)
             iface_cls = self.module.lookup_class(iface)
@@ -586,6 +647,34 @@ class Threadifier:
                     child = self._add_child(
                         program, parent, ThreadKind.POSTED_CALLBACK,
                         cls_name, callback, site,
+                    )
+                    if child is not None:
+                        created.append(child)
+
+        elif kind is ApiKind.SEND_ORDERED_BROADCAST:
+            for cls_name in sorted(classes):
+                if not self._app_implements(cls_name, "onReceive"):
+                    continue
+                child = self._add_child(
+                    program, parent, ThreadKind.POSTED_CALLBACK,
+                    cls_name, "onReceive", site,
+                    category=CallbackCategory.RECEIVER_RESULT,
+                )
+                if child is not None:
+                    created.append(child)
+
+        elif kind is ApiKind.REGISTER_FRAGMENT:
+            for cls_name in sorted(classes):
+                for callback in site.spec.callbacks:
+                    if callback not in FRAGMENT_LIFECYCLE:
+                        continue
+                    if not self._app_implements(cls_name, callback):
+                        continue
+                    child = self._add_child(
+                        program, parent, ThreadKind.POSTED_CALLBACK,
+                        cls_name, callback, site,
+                        category=CallbackCategory.FRAGMENT,
+                        group_key=f"frag:{cls_name}",
                     )
                     if child is not None:
                         created.append(child)

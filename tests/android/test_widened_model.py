@@ -1,0 +1,209 @@
+"""The widened Android surface: fragment transactions, ordered broadcasts
+and foreground-service callbacks, as MHB sources and threadification rules."""
+
+from repro.android import (
+    ApiKind,
+    FRAGMENT_LIFECYCLE,
+    FRAGMENT_MHB,
+    FRAGMENT_TRANSITIONS,
+    ORDERED_BROADCAST_MHB,
+    SERVICE_MHB,
+    sound_mhb_pairs,
+)
+from repro.core import analyze_module
+from repro.lowering import lower_sources
+
+
+# -- fragment lifecycle automaton ---------------------------------------------
+
+
+def test_fragment_mhb_orders_attach_before_everything():
+    for later in ("onCreate", "onStart", "onResume", "onPause", "onStop",
+                  "onDestroy", "onDetach"):
+        assert ("onAttach", later) in FRAGMENT_MHB
+
+
+def test_fragment_mhb_orders_everything_before_detach():
+    for earlier in ("onAttach", "onCreate", "onStart", "onResume",
+                    "onPause", "onStop", "onDestroy"):
+        assert (earlier, "onDetach") in FRAGMENT_MHB
+
+
+def test_fragment_mhb_has_no_order_among_resumable_states():
+    # onPause can loop back to onResume (and onStop back to onStart),
+    # so none of the active states are mutually ordered.
+    for a, b in (("onResume", "onPause"), ("onStart", "onStop"),
+                 ("onResume", "onStop")):
+        assert (a, b) not in FRAGMENT_MHB
+        assert (b, a) not in FRAGMENT_MHB
+
+
+def test_fragment_mhb_derives_from_its_automaton():
+    assert FRAGMENT_MHB == frozenset(sound_mhb_pairs(FRAGMENT_TRANSITIONS))
+
+
+def test_fragment_lifecycle_covers_the_automaton_states():
+    states = set(FRAGMENT_TRANSITIONS) - {"<launch>"}
+    for targets in FRAGMENT_TRANSITIONS.values():
+        states.update(targets)
+    assert states == set(FRAGMENT_LIFECYCLE)
+
+
+# -- widened service automaton ------------------------------------------------
+
+
+def test_service_mhb_keeps_its_original_edges():
+    # the foreground sinks only *add* pairs; the classic ones must stay
+    assert ("onCreate", "onDestroy") in SERVICE_MHB
+    assert ("onCreate", "onStartCommand") in SERVICE_MHB
+
+
+def test_foreground_sinks_are_ordered_before_destroy():
+    assert ("onTaskRemoved", "onDestroy") in SERVICE_MHB
+    assert ("onTimeout", "onDestroy") in SERVICE_MHB
+
+
+def test_foreground_sinks_are_mutually_unordered():
+    assert ("onTaskRemoved", "onTimeout") not in SERVICE_MHB
+    assert ("onTimeout", "onTaskRemoved") not in SERVICE_MHB
+
+
+# -- ordered broadcasts -------------------------------------------------------
+
+
+def test_ordered_broadcast_mhb_is_receiver_before_result():
+    assert ORDERED_BROADCAST_MHB == frozenset({("onReceive", "onReceive")})
+
+
+def test_api_table_has_the_new_posting_sites():
+    from repro.android import API_TABLE
+
+    assert API_TABLE[("Context", "sendOrderedBroadcast")].kind \
+        is ApiKind.SEND_ORDERED_BROADCAST
+    for method in ("add", "replace"):
+        spec = API_TABLE[("FragmentTransaction", method)]
+        assert spec.kind is ApiKind.REGISTER_FRAGMENT
+        assert set(spec.callbacks) == set(FRAGMENT_LIFECYCLE)
+
+
+# -- end-to-end: the new MHB filter branches ----------------------------------
+
+
+_FRAGMENT_BENIGN = """
+class Data {
+  void refresh() { }
+}
+
+class WorkFragment extends Fragment {
+  Data fd;
+
+  void onAttach(Activity activity) {
+    super.onAttach(activity);
+    fd = new Data();
+  }
+
+  void onStart() {
+    super.onStart();
+    fd.refresh();
+  }
+
+  void onDestroy() {
+    super.onDestroy();
+    fd = null;
+  }
+}
+
+class Main extends Activity {
+  void onCreate(Bundle savedInstanceState) {
+    super.onCreate(savedInstanceState);
+    setContentView(1);
+    WorkFragment frag = new WorkFragment();
+    FragmentManager fm = getFragmentManager();
+    FragmentTransaction ft = fm.beginTransaction();
+    ft.add(1, frag);
+    ft.commit();
+  }
+}
+"""
+
+_ORDERED_BENIGN = """
+class Data {
+  void refresh() { }
+}
+
+class FirstReceiver extends BroadcastReceiver {
+  Main owner;
+
+  public void onReceive(Context context, Intent intent) {
+    owner.fd.refresh();
+  }
+}
+
+class ResultReceiver extends BroadcastReceiver {
+  Main owner;
+
+  public void onReceive(Context context, Intent intent) {
+    owner.fd = null;
+  }
+}
+
+class Main extends Activity {
+  Data fd;
+  FirstReceiver first;
+
+  void onCreate(Bundle savedInstanceState) {
+    super.onCreate(savedInstanceState);
+    setContentView(1);
+    fd = new Data();
+    first = new FirstReceiver();
+    first.owner = this;
+    registerReceiver(first, new IntentFilter("app.PING"));
+    ResultReceiver last = new ResultReceiver();
+    last.owner = this;
+    sendOrderedBroadcast(new Intent("app.PING"), last);
+  }
+}
+"""
+
+
+def _analyze(source):
+    module = lower_sources(source, module_name="widened", seal=False)
+    return analyze_module(module)
+
+
+def _pruning_edges(result, field_name):
+    edges = set()
+    for warning in result.warnings:
+        if warning.fieldref.field_name != field_name:
+            continue
+        for occ in warning.occurrences:
+            if occ.pruned_by == "MHB" and occ.witness is not None:
+                edges.add(occ.witness.data.get("edge"))
+    return edges
+
+
+def test_fragment_transaction_prunes_via_mhb_fragment():
+    result = _analyze(_FRAGMENT_BENIGN)
+    assert not result.remaining()
+    assert "MHB-Fragment" in _pruning_edges(result, "fd")
+
+
+def test_ordered_broadcast_prunes_via_mhb_ordered_broadcast():
+    result = _analyze(_ORDERED_BENIGN)
+    assert not result.remaining()
+    assert "MHB-OrderedBroadcast" in _pruning_edges(result, "fd")
+
+
+def test_fragment_lifecycle_nodes_are_modeled_only_when_committed():
+    # Without a FragmentTransaction commit, a Fragment subclass stays
+    # invisible (the paper's preserved false negative); with one, its
+    # lifecycle callbacks become posted-callback nodes.
+    committed = _analyze(_FRAGMENT_BENIGN)
+    frag_nodes = [
+        node for node in committed.program.forest
+        if node.receiver_class == "WorkFragment"
+    ]
+    # only the callbacks the fragment actually implements become nodes
+    assert {n.method_name for n in frag_nodes} == \
+        {"onAttach", "onStart", "onDestroy"}
+    assert all(n.group_key == "frag:WorkFragment" for n in frag_nodes)
