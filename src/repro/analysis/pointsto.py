@@ -30,10 +30,16 @@ the schedule (and therefore every ``pointsto.*`` counter) is independent
 of hash seeds and worker processes.  The least fixpoint itself is unique
 (the transfer functions are monotone over finite lattices), so the
 result is identical to the exhaustive solver's, pair for pair.
+
+Hotspot attribution (see :mod:`repro.obs.hotspots`): each processed
+``(method, context)`` pair records its pop count and cumulative
+``_process`` wall time as ``hotspot.pointsto.pair.<qname>@<ctx>.pops``
+(counter, deterministic) and ``....seconds`` (gauge, measurement).
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set, Tuple
@@ -262,6 +268,10 @@ class PointsToAnalysis:
         # it read on a previous processing grows, or when it is first
         # discovered as a call target.
         rounds = 0
+        # hotspot attribution: per-(method, context) pop counts and
+        # cumulative _process seconds (see repro.obs.hotspots)
+        pair_pops: Dict[Pair, int] = defaultdict(int)
+        pair_seconds: Dict[Pair, float] = defaultdict(float)
         while self._dirty:
             rounds += 1
             frontier = sorted(self._dirty)
@@ -279,10 +289,13 @@ class PointsToAnalysis:
                         "points-to analysis failed to converge"
                     )
                 self._current = pair
+                t0 = time.perf_counter()
                 try:
                     self._process(method, qname, ctx)
                 finally:
                     self._current = None
+                    pair_pops[pair] += 1
+                    pair_seconds[pair] += time.perf_counter() - t0
 
         # Deterministic size metrics for the section 8.8 observability
         # layer: all are functions of the final fixpoint or of the
@@ -311,6 +324,12 @@ class PointsToAnalysis:
         obs.add("pointsto.abstract_objects", len(abstract_objects))
         obs.add("pointsto.call_edges",
                 sum(len(c) for c in self.cs_call_edges.values()))
+        for pair in sorted(pair_pops):
+            qname, ctx = pair
+            key = f"{qname}@{','.join(ctx)}"
+            obs.add(f"hotspot.pointsto.pair.{key}.pops", pair_pops[pair])
+            obs.add_gauge(f"hotspot.pointsto.pair.{key}.seconds",
+                          pair_seconds[pair])
 
         return PointsToResult(
             module=self.module,

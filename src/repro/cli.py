@@ -15,17 +15,27 @@ Subcommands:
 * ``table2``           -- injected false-negative study
 * ``table3``           -- DEvA comparison
 * ``timing``           -- section 8.8 stage breakdown
+* ``hotspots``         -- top-K hotspot attribution table (per-rule,
+  per-stratum, per-(method, context) work inside the fixpoint cores)
+* ``events summarize`` -- funnel + latency digest of an
+  ``--events-out`` JSONL stream
 * ``bench``            -- corpus benchmark writing ``BENCH_<date>.json``;
   ``--compare OLD.json`` turns it into the perf regression gate
   (``docs/performance.md``): exit 4 on work-counter or wall-time
   regressions against the baseline; ``--generated N`` benchmarks a
-  seeded generated corpus instead of the registry apps
+  seeded generated corpus instead of the registry apps;
+  ``--history DIR`` appends the run to a history directory and
+  ``bench trend DIR`` charts it, exiting 4 on monotone drift
 * ``cache prune``      -- sweep quarantined (or all) result-cache entries
 
 Observability (``docs/observability.md``): every corpus subcommand and
 ``analyze`` accept ``--trace`` (span tree on stderr) and
-``--metrics-out PATH`` (deterministic JSON).  Observability output never
-touches stdout, which stays byte-stable across ``--jobs`` settings.
+``--metrics-out PATH`` (deterministic JSON).  Corpus subcommands also
+accept ``--events-out PATH`` (structured JSONL event stream, tail-able
+mid-run), ``--progress`` (opt-in stderr progress line per finished
+app) and ``--memory`` (tracemalloc peak gauges per stage and app).
+Observability output never touches stdout, which stays byte-stable
+across ``--jobs`` settings.
 
 Reporting (``docs/reporting.md``): ``analyze``, ``explain`` and
 ``corpus`` accept ``--report-out PATH`` (deterministic report JSON) and
@@ -88,7 +98,34 @@ def _make_runner(args: argparse.Namespace):
         max_retries=getattr(args, "max_retries", 1),
         keep_going=getattr(args, "keep_going", False),
     )
-    return CorpusRunner(jobs=args.jobs, cache=cache, policy=policy)
+    sinks = []
+    events_out = getattr(args, "events_out", None)
+    if events_out:
+        from .obs import JsonlEventSink
+
+        try:
+            # fail before the run starts, not at the first event
+            open(events_out, "w", encoding="utf-8").close()
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot write events to {events_out}: {reason}"
+            ) from exc
+        sinks.append(JsonlEventSink(events_out))
+    if getattr(args, "progress", False):
+        from .obs import ProgressSink
+
+        sinks.append(ProgressSink(sys.stderr))
+    events = None
+    if sinks:
+        from .obs import RunEventLog
+
+        events = RunEventLog(sinks)
+    # remembered so main() can close the sinks even on a faulted run
+    args._events_log = events
+    return CorpusRunner(jobs=args.jobs, cache=cache, policy=policy,
+                        events=events,
+                        memory=getattr(args, "memory", False))
 
 
 def _corpus_apps(args: argparse.Namespace):
@@ -210,11 +247,20 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
     recorder = obs.Recorder(profile_stages=args.profile_stage or ())
     with obs.use(recorder):
-        result = analyze_app(_read_sources(args.files), config=config)
+        if args.memory:
+            with obs.track_memory(recorder):
+                result = analyze_app(_read_sources(args.files),
+                                     config=config)
+        else:
+            result = analyze_app(_read_sources(args.files), config=config)
     snapshot = recorder.snapshot()
     if args.trace:
         print(obs.render_spans(snapshot.spans), file=sys.stderr)
         print(obs.render_metrics(snapshot), file=sys.stderr)
+    if args.hotspots:
+        entries = obs.collect_hotspots([snapshot])
+        print(obs.render_hotspots(entries, top=args.hotspots),
+              file=sys.stderr)
     if args.profile_stage:
         for root in recorder.roots:
             for node in root.walk():
@@ -534,6 +580,41 @@ def cmd_timing(args: argparse.Namespace) -> int:
     return _report_faults(runner)
 
 
+def cmd_hotspots(args: argparse.Namespace) -> int:
+    from .corpus import all_apps
+    from .obs import collect_hotspots, render_hotspots
+
+    if args.top <= 0:
+        raise CliError("--top must be a positive number of rows")
+    runner = _make_runner(args)
+    specs = _corpus_apps(args)
+    names = [spec.name for spec in
+             (specs if specs is not None else all_apps())]
+    runner.run("timing", names, {})
+    _report_stats(runner)
+    _emit_observability(args, runner)
+    metrics = runner.last_metrics
+    entries = collect_hotspots(metrics.apps.values()) if metrics else []
+    if args.domain:
+        entries = [e for e in entries if e.domain == args.domain]
+    print(render_hotspots(entries, top=args.top))
+    return _report_faults(runner)
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    from .obs import read_events, render_events_summary, summarize_events
+
+    try:
+        records = read_events(args.path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise CliError(f"cannot read {args.path}: {reason}") from exc
+    except ValueError as exc:
+        raise CliError(f"{args.path}: {exc}") from exc
+    print(render_events_summary(summarize_events(records)))
+    return 0
+
+
 #: exit code for "the bench compare gate found a perf regression"
 EXIT_BENCH_REGRESSION = 4
 
@@ -593,6 +674,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         reason = exc.strerror or str(exc)
         raise CliError(f"cannot write benchmark to {out}: {reason}") from exc
     print(f"[bench] wrote {out}", file=sys.stderr)
+    if args.history:
+        from .harness import append_history
+
+        try:
+            history_path = append_history(payload, args.history)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot append to history {args.history}: {reason}"
+            ) from exc
+        print(f"[bench] appended {history_path}", file=sys.stderr)
     code = _report_faults(runner)
     if baseline is not None:
         comparison = compare_bench(
@@ -603,6 +695,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if has_regressions(comparison):
             code = max(code, EXIT_BENCH_REGRESSION)
     return code
+
+
+def cmd_bench_trend(args: argparse.Namespace) -> int:
+    from .harness import (
+        check_comparable, detect_drift, load_history, render_trend,
+    )
+
+    if args.window < 2:
+        raise CliError("--window must be at least 2 runs")
+    if args.time_tolerance < 0:
+        raise CliError("--time-tolerance must be >= 0")
+    try:
+        history = load_history(args.history_dir)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    if not history:
+        raise CliError(
+            f"bench trend: no BENCH_*.json runs in {args.history_dir}"
+        )
+    error = check_comparable(history)
+    if error is not None:
+        raise CliError(error)
+    drifts = detect_drift(history, window=args.window,
+                          time_tolerance=args.time_tolerance)
+    print(render_trend(history, drifts))
+    return EXIT_BENCH_REGRESSION if drifts else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -655,6 +773,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-stage", action="append", metavar="STAGE",
                    help="cProfile a pipeline stage (e.g. pointsto, "
                         "detect); repeatable; report goes to stderr")
+    p.add_argument("--hotspots", type=int, default=None, metavar="K",
+                   help="print the top-K hotspot attribution table "
+                        "(per-rule/stratum/context work) to stderr")
+    p.add_argument("--memory", action="store_true",
+                   help="record tracemalloc peak-memory gauges per "
+                        "pipeline stage")
     _add_report_flags(p)
     p.set_defaults(fn=cmd_analyze)
 
@@ -712,6 +836,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "spans nest under each app's root)")
         p.add_argument("--metrics-out", metavar="PATH",
                        help="write run + per-app metrics as JSON to PATH")
+        p.add_argument("--events-out", metavar="PATH",
+                       help="write the structured run event stream as "
+                            "JSONL to PATH (flushed per event, so the "
+                            "file can be tailed mid-run)")
+        p.add_argument("--progress", action="store_true",
+                       help="print a [progress] line to stderr per "
+                            "finished app (off by default: stderr stays "
+                            "byte-stable without it)")
+        p.add_argument("--memory", action="store_true",
+                       help="record tracemalloc peak-memory gauges "
+                            "(mem.app.peak_kb, mem.stage.*.peak_kb) in "
+                            "every worker; changes the cache key")
         p.add_argument("--timeout", type=float, default=None,
                        metavar="SECS",
                        help="per-app deadline: overrunning workers are "
@@ -809,6 +945,35 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
 
     p = sub.add_parser(
+        "hotspots",
+        help="top-K hotspot attribution over the corpus: which Datalog "
+             "rules, strata and points-to (method, context) pairs do "
+             "the work",
+    )
+    p.add_argument("--apps", nargs="+", metavar="NAME",
+                   help="restrict to these corpus apps (default: all 27)")
+    p.add_argument("--top", type=int, default=20, metavar="K",
+                   help="rows in the table (default 20)")
+    p.add_argument("--domain", metavar="DOMAIN",
+                   choices=("datalog.rule", "datalog.stratum",
+                            "pointsto.pair"),
+                   help="restrict to one attribution domain")
+    _add_runner_flags(p)
+    p.set_defaults(fn=cmd_hotspots)
+
+    p = sub.add_parser(
+        "events",
+        help="read an --events-out JSONL stream",
+    )
+    events_sub = p.add_subparsers(dest="events_command", required=True)
+    pp = events_sub.add_parser(
+        "summarize",
+        help="print the run funnel and p50/p95/max per-app latency",
+    )
+    pp.add_argument("path", help="events JSONL file (from --events-out)")
+    pp.set_defaults(fn=cmd_events)
+
+    p = sub.add_parser(
         "bench",
         help="run the corpus benchmark and write BENCH_<date>.json",
     )
@@ -832,8 +997,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "before --compare fails (default 0.25 = 25%%); "
                         "widen when the baseline came from a different "
                         "machine -- counters always gate exactly")
+    p.add_argument("--history", metavar="DIR",
+                   help="also append this run's payload to a bench "
+                        "history directory (for `bench trend`)")
     _add_runner_flags(p)
     p.set_defaults(fn=cmd_bench)
+
+    bench_sub = p.add_subparsers(dest="bench_command",
+                                 metavar="SUBCOMMAND")
+    pp = bench_sub.add_parser(
+        "trend",
+        help="chart a bench history directory and exit 4 on monotone "
+             "perf drift across the trailing window",
+    )
+    pp.add_argument("history_dir", metavar="DIR",
+                    help="directory of BENCH_*.json runs "
+                         "(see bench --history)")
+    pp.add_argument("--window", type=int, default=5, metavar="N",
+                    help="trailing runs inspected by the drift gate "
+                         "(default 5)")
+    pp.add_argument("--time-tolerance", type=float, default=0.25,
+                    metavar="FRAC",
+                    help="relative wall-time growth across the window "
+                         "tolerated before monotone growth counts as "
+                         "drift (default 0.25 = 25%%)")
+    pp.set_defaults(fn=cmd_bench_trend)
 
     p = sub.add_parser("cache", help="manage the on-disk result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
@@ -871,6 +1059,16 @@ def main(argv: List[str] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 1
+    finally:
+        # the event stream is flushed per event, so even an aborted run
+        # leaves a faithful prefix on disk; this only closes the handles
+        events = getattr(args, "_events_log", None)
+        if events is not None:
+            events.close()
+            for sink in events.sinks:
+                path = getattr(sink, "path", None)
+                if path:
+                    print(f"[events] wrote {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

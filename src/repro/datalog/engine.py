@@ -28,10 +28,26 @@ The engine computes the least model of a program in four steps:
 Observability counters: ``datalog.plan.reordered_rules`` and
 ``datalog.index.{hits,builds,evictions}`` on top of the existing
 ``datalog.{strata,passes,derived_facts,...}`` family.
+
+Hotspot attribution (see :mod:`repro.obs.hotspots`): every evaluation
+also attributes derived facts and join time to the compiled rule and
+stratum that produced them.  A rule is identified as
+``<head_pred>#<stratum>.<rule>`` (indexes within the stratified
+program, so the id is stable across runs of the same program):
+
+* ``hotspot.datalog.rule.<id>.facts`` (counter) / ``.seconds`` (gauge)
+* ``hotspot.datalog.stratum.<i>.facts`` (counter) / ``.seconds`` (gauge)
+
+Fact counts attribute each *newly added* fact to the rule whose join
+emitted it first within the pass (derivation buffers are walked in
+plan order, so attribution is deterministic).  Counters are emitted for
+every rule, including zero-fact ones, keeping the key set a function of
+the program alone.
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict, OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -387,22 +403,40 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
     obs.add("datalog.strata", len(strata))
     obs.add("datalog.edb_facts", sum(len(r) for r in db.relations.values()))
     reordered_rules = 0
-    for stratum in strata:
+    # hotspot attribution: rule id -> derived facts / join seconds, in
+    # stratified program order (see module docstring)
+    rule_facts: "OrderedDict[str, int]" = OrderedDict()
+    rule_seconds: Dict[str, float] = {}
+    stratum_stats: List[Tuple[int, float]] = []
+    for stratum_idx, stratum in enumerate(strata):
+        stratum_t0 = time.perf_counter()
         rules = [r for r in stratum if r.body]
         stratum_preds = {r.head.pred for r in rules}
         compiled = _compile_stratum(rules, stratum_preds)
         reordered_rules += sum(1 for c in compiled if c.reordered)
+        rule_ids = [
+            f"{c.rule.head.pred}#{stratum_idx}.{i}"
+            for i, c in enumerate(compiled)
+        ]
+        for rule_id in rule_ids:
+            rule_facts[rule_id] = 0
+            rule_seconds[rule_id] = 0.0
+        stratum_facts = 0
         # Derivations are buffered per pass so joins never observe a
         # relation mutating underneath them.
         delta: Dict[str, Set[Row]] = defaultdict(set)
-        derived: List[Tuple[str, Row]] = []
-        for crule in compiled:
+        derived: List[Tuple[str, str, Row]] = []
+        for rule_id, crule in zip(rule_ids, compiled):
             head = crule.rule.head
+            t0 = time.perf_counter()
             for env in _join(db, crule.base_plan, {}, None, None):
-                derived.append((head.pred, _instantiate(head, env)))
-        for pred, row in derived:
+                derived.append((rule_id, head.pred, _instantiate(head, env)))
+            rule_seconds[rule_id] += time.perf_counter() - t0
+        for rule_id, pred, row in derived:
             if db.add(pred, row):
                 delta[pred].add(row)
+                rule_facts[rule_id] += 1
+                stratum_facts += 1
         obs.add("datalog.passes")
         obs.add("datalog.derived_facts",
                 sum(len(rows) for rows in delta.values()))
@@ -411,29 +445,46 @@ def evaluate(program: Program) -> Dict[str, Set[Row]]:
             views = {pred: _DeltaView(rows) for pred, rows in delta.items()
                      if rows}
             derived = []
-            for crule in compiled:
+            for rule_id, crule in zip(rule_ids, compiled):
                 head = crule.rule.head
+                t0 = time.perf_counter()
                 for i in crule.delta_positions:
                     view = views.get(crule.body[i].pred)
                     if view is None:
                         continue
                     plan = crule.delta_plans[i]
                     for env in _join(db, plan, {}, 0, view):
-                        derived.append((head.pred, _instantiate(head, env)))
+                        derived.append(
+                            (rule_id, head.pred, _instantiate(head, env))
+                        )
+                rule_seconds[rule_id] += time.perf_counter() - t0
             new_delta: Dict[str, Set[Row]] = defaultdict(set)
-            for pred, row in derived:
+            for rule_id, pred, row in derived:
                 if db.add(pred, row):
                     new_delta[pred].add(row)
+                    rule_facts[rule_id] += 1
+                    stratum_facts += 1
             delta = new_delta
             obs.add("datalog.passes")
             obs.add("datalog.derived_facts",
                     sum(len(rows) for rows in delta.values()))
+        stratum_stats.append(
+            (stratum_facts, time.perf_counter() - stratum_t0)
+        )
     obs.add("datalog.total_facts",
             sum(len(rows) for rows in db.relations.values()))
     obs.add("datalog.plan.reordered_rules", reordered_rules)
     obs.add("datalog.index.hits", db.index_hits)
     obs.add("datalog.index.builds", db.index_builds)
     obs.add("datalog.index.evictions", db.index_evictions)
+    for rule_id, facts in rule_facts.items():
+        obs.add(f"hotspot.datalog.rule.{rule_id}.facts", facts)
+        obs.add_gauge(f"hotspot.datalog.rule.{rule_id}.seconds",
+                      rule_seconds[rule_id])
+    for stratum_idx, (facts, seconds) in enumerate(stratum_stats):
+        obs.add(f"hotspot.datalog.stratum.{stratum_idx}.facts", facts)
+        obs.add_gauge(f"hotspot.datalog.stratum.{stratum_idx}.seconds",
+                      seconds)
     return db.relations
 
 

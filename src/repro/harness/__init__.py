@@ -3,13 +3,23 @@
 from .bench import (
     BENCH_SCHEMA,
     compare_bench,
+    corpus_shape,
     default_bench_path,
+    GATED_COUNTER_PREFIXES,
     GATED_COUNTERS,
     has_regressions,
     render_compare,
     run_bench,
     run_generated_bench,
     write_bench,
+)
+from .trend import (
+    append_history,
+    check_comparable,
+    detect_drift,
+    load_history,
+    render_trend,
+    trend_rows,
 )
 from .generated import (
     analyze_generated_app,
@@ -56,10 +66,13 @@ from .table3 import (
 from .timing import render_timing, run_timing, TimingData
 
 __all__ = [
-    "analyze_corpus_app", "analyze_generated_app", "BENCH_SCHEMA",
-    "build_row", "compare_bench", "generated_app_data", "run_generated",
-    "run_generated_bench",
-    "CSV_COLUMNS", "GATED_COUNTERS", "has_regressions", "render_compare",
+    "analyze_corpus_app", "analyze_generated_app", "append_history",
+    "BENCH_SCHEMA",
+    "build_row", "check_comparable", "compare_bench", "corpus_shape",
+    "detect_drift", "generated_app_data", "load_history", "render_trend",
+    "run_generated", "run_generated_bench", "trend_rows",
+    "CSV_COLUMNS", "GATED_COUNTER_PREFIXES", "GATED_COUNTERS",
+    "has_regressions", "render_compare",
     "default_bench_path", "run_bench", "write_bench", "figure5_app_data",
     "Figure5Data", "fp_totals", "result_analysis_csv",
     "save_result_analysis", "write_result_analysis",

@@ -28,12 +28,16 @@ absolute slack for sub-second apps).
 from __future__ import annotations
 
 import datetime
+import hashlib
+import json
 from typing import Any, Dict, List, Optional
 
 from ..corpus import all_apps, AppSpec
 from ..obs import merge_snapshots, write_json
 from ..runner import CorpusRunner
 
+#: stays 1 across additive fields (``corpus`` shape metadata is
+#: additive: old baselines without it remain valid compare targets)
 BENCH_SCHEMA = 1
 
 #: counters that measure *work done* -- deterministic, machine-independent,
@@ -50,6 +54,13 @@ GATED_COUNTERS = (
     "pointsto.worklist.pushed",
 )
 
+#: counter-name prefixes gated the same way: every ``hotspot.*`` count
+#: (per-rule derived facts, per-pair worklist pops) is deterministic
+#: work attribution, so a growth present in both payloads is a real
+#: regression in that unit.  Prefix-matched counters missing on one
+#: side (older baseline) simply do not gate.
+GATED_COUNTER_PREFIXES = ("hotspot.",)
+
 #: absolute wall-time slack (seconds) added on top of the relative
 #: tolerance: corpus apps analyze in fractions of a second, where
 #: scheduler noise alone exceeds any sane percentage.
@@ -61,16 +72,40 @@ def default_bench_path(date: Optional[datetime.date] = None) -> str:
     return f"BENCH_{date.isoformat()}.json"
 
 
+def corpus_shape(kind: str, names: List[str],
+                 generator: Optional[Dict[str, Any]] = None,
+                 seed: Optional[int] = None) -> Dict[str, Any]:
+    """The corpus-shape stamp carried in every bench payload.
+
+    ``digest`` content-addresses what was benchmarked (the sorted app
+    names plus, for generated corpora, the full generator config), so
+    ``bench trend`` can refuse to chart runs over different corpora.
+    """
+    basis: Dict[str, Any] = {"names": sorted(set(names))}
+    if generator is not None:
+        basis["generator"] = generator
+    digest = hashlib.sha256(
+        json.dumps(basis, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
+    shape: Dict[str, Any] = {
+        "kind": kind,
+        "apps": len(set(names)),
+        "digest": digest,
+    }
+    if seed is not None:
+        shape["seed"] = seed
+    return shape
+
+
 def run_bench(runner: CorpusRunner,
               apps: Optional[List[AppSpec]] = None,
               config=None) -> Dict[str, Any]:
     """Analyze every app and assemble the benchmark payload."""
     specs = apps if apps is not None else all_apps()
-    payloads, stats = runner.run(
-        "timing", [spec.name for spec in specs], {"config": config}
-    )
-    return _bench_payload(runner, [spec.name for spec in specs],
-                          payloads, stats)
+    names = [spec.name for spec in specs]
+    payloads, stats = runner.run("timing", names, {"config": config})
+    return _bench_payload(runner, names, payloads, stats,
+                          corpus=corpus_shape("registry", names))
 
 
 def run_generated_bench(runner: CorpusRunner, gconfig,
@@ -86,12 +121,17 @@ def run_generated_bench(runner: CorpusRunner, gconfig,
         "gen-timing", names,
         {"config": config, "generator": gconfig.to_dict()},
     )
-    return _bench_payload(runner, names, payloads, stats)
+    return _bench_payload(
+        runner, names, payloads, stats,
+        corpus=corpus_shape("generated", names,
+                            generator=gconfig.to_dict(), seed=gconfig.seed),
+    )
 
 
 def _bench_payload(runner: CorpusRunner, names: List[str],
                    payloads: List[Dict[str, Any]],
-                   stats) -> Dict[str, Any]:
+                   stats,
+                   corpus: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     metrics = runner.last_metrics
     per_app: Dict[str, Any] = {}
     for name, payload in zip(names, payloads):
@@ -112,7 +152,7 @@ def _bench_payload(runner: CorpusRunner, names: List[str],
     merged = merge_snapshots(metrics.apps.values()) if metrics \
         else merge_snapshots(())
 
-    return {
+    payload = {
         "schema": BENCH_SCHEMA,
         "date": datetime.date.today().isoformat(),
         "jobs": runner.jobs,
@@ -123,6 +163,9 @@ def _bench_payload(runner: CorpusRunner, names: List[str],
             "counters": merged.counters,
         },
     }
+    if corpus is not None:
+        payload["corpus"] = corpus
+    return payload
 
 
 def write_bench(payload: Dict[str, Any], path: str) -> None:
@@ -131,6 +174,20 @@ def write_bench(payload: Dict[str, Any], path: str) -> None:
 
 
 # -- bench --compare: the perf regression gate --------------------------------
+
+
+def _gated_counter_names(old_counters: Dict[str, Any],
+                         new_counters: Dict[str, Any]) -> List[str]:
+    """The gated counter set for one app: the fixed
+    :data:`GATED_COUNTERS` plus every :data:`GATED_COUNTER_PREFIXES`
+    match present in *both* payloads, in deterministic order."""
+    names = list(GATED_COUNTERS)
+    prefixed = {
+        name for name in old_counters
+        if name.startswith(GATED_COUNTER_PREFIXES) and name in new_counters
+    }
+    names.extend(sorted(prefixed - set(GATED_COUNTERS)))
+    return names
 
 
 def compare_bench(
@@ -161,9 +218,11 @@ def compare_bench(
         old_s = float(old_entry.get("timings", {}).get("total", 0.0))
         new_s = float(new_entry.get("timings", {}).get("total", 0.0))
         counters: Dict[str, Any] = {}
-        for counter in GATED_COUNTERS:
-            old_v = old_entry.get("counters", {}).get(counter)
-            new_v = new_entry.get("counters", {}).get(counter)
+        old_counters = old_entry.get("counters", {})
+        new_counters = new_entry.get("counters", {})
+        for counter in _gated_counter_names(old_counters, new_counters):
+            old_v = old_counters.get(counter)
+            new_v = new_counters.get(counter)
             if old_v is None or new_v is None:
                 continue  # not comparable (engine generations differ)
             counters[counter] = {"old": old_v, "new": new_v}

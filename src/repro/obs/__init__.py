@@ -29,6 +29,7 @@ Typical use::
 
 from .recorder import (
     add,
+    add_gauge,
     current,
     Recorder,
     set_gauge,
@@ -36,7 +37,7 @@ from .recorder import (
     span,
     use,
 )
-from .metrics import merge_snapshots, MetricsSnapshot
+from .metrics import merge_snapshots, MetricsSnapshot, PEAK_GAUGE_PATTERN
 from .export import (
     describe_run,
     render_metrics,
@@ -44,20 +45,53 @@ from .export import (
     snapshot_to_json,
     write_json,
 )
+from .hotspots import (
+    collect_hotspots,
+    HOTSPOT_PREFIX,
+    HotspotEntry,
+    render_hotspots,
+    top_hotspots,
+)
+from .events import (
+    EVENTS_SCHEMA,
+    JsonlEventSink,
+    ProgressSink,
+    read_events,
+    render_events_summary,
+    RunEventLog,
+    summarize_events,
+)
+from .memory import MemoryTracker, track_memory
 
 __all__ = [
     "add",
+    "add_gauge",
+    "collect_hotspots",
     "current",
     "describe_run",
+    "EVENTS_SCHEMA",
+    "HOTSPOT_PREFIX",
+    "HotspotEntry",
+    "JsonlEventSink",
+    "MemoryTracker",
     "merge_snapshots",
     "MetricsSnapshot",
+    "PEAK_GAUGE_PATTERN",
+    "ProgressSink",
+    "read_events",
     "Recorder",
+    "render_events_summary",
+    "render_hotspots",
     "render_metrics",
     "render_spans",
+    "RunEventLog",
     "set_gauge",
     "Span",
     "span",
     "snapshot_to_json",
+    "summarize_events",
+    "top_hotspots",
+    "track_memory",
     "use",
     "write_json",
 ]

@@ -1,0 +1,296 @@
+"""Structured event stream for corpus runs (``--events-out``).
+
+A long generated-corpus run used to be a silent wait; this module turns
+it into a tail-able JSONL stream.  Each line is one schema-versioned
+event::
+
+    {"schema": 1, "event": "app-done", "t": 1.234567, "app": "...",
+     "status": "analyzed", "duration_s": 0.021}
+
+Event vocabulary (schema-stable -- new fields may be added, event names
+and existing fields never change meaning):
+
+``run-start``
+    ``kind`` (task kind), ``apps`` (input app count).
+``app-start`` / ``cache-hit`` / ``retry`` / ``timeout`` / ``fault``
+    per-app lifecycle; ``fault`` carries ``kind`` (the fault taxonomy
+    kind), ``timeout`` precedes its ``fault`` and carries ``seconds``.
+``app-done``
+    closes every app with ``status`` (``analyzed`` | ``cached`` |
+    ``faulted``) and ``duration_s`` (the worker-measured analysis wall
+    time, replayed from the cache envelope on hits; absent on faults).
+``run-end``
+    run totals: ``analyzed``, ``cached``, ``faulted``, ``wall_seconds``.
+
+Timestamps ``t`` are monotonic seconds since the stream's first event.
+
+**Determinism.**  Events are buffered per app and flushed strictly in
+input-app order: app *i*'s block is written the moment its outcome --
+and every earlier app's -- is known.  A ``--jobs 4`` run therefore
+produces the same event sequence as ``--jobs 1`` (only ``t``,
+``duration_s`` and ``wall_seconds`` differ), while a serial run streams
+fully live and a parallel run streams its completed prefix.
+
+:func:`summarize_events` is the reader: the run funnel plus p50/p95/max
+per-app latency, rendered by ``repro events summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+#: bump when an existing event or field changes meaning (never for
+#: purely additive fields)
+EVENTS_SCHEMA = 1
+
+EVENT_TYPES = (
+    "run-start", "app-start", "app-done", "cache-hit",
+    "fault", "retry", "timeout", "run-end",
+)
+
+
+def encode_event(record: Dict[str, Any]) -> str:
+    """One canonical JSONL line (sorted keys, no trailing newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlEventSink:
+    """Append events to a file, one line each, flushed per event so the
+    stream can be tailed while the run is still going."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[TextIO] = None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(encode_event(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class ProgressSink:
+    """The opt-in ``--progress`` stderr line, derived from the stream.
+
+    One line per closed app: ``[progress] 12/27 apps, 1 fault, 3 cache
+    hits``.  Off by default so golden stderr expectations stay
+    byte-identical.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self._total = 0
+        self._done = 0
+        self._faults = 0
+        self._cache_hits = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        event = record.get("event")
+        if event == "run-start":
+            self._total += int(record.get("apps", 0))
+        elif event == "app-done":
+            self._done += 1
+            status = record.get("status")
+            if status == "faulted":
+                self._faults += 1
+            elif status == "cached":
+                self._cache_hits += 1
+            print(
+                f"[progress] {self._done}/{self._total} apps, "
+                f"{self._faults} fault{'s' if self._faults != 1 else ''}, "
+                f"{self._cache_hits} cache "
+                f"hit{'s' if self._cache_hits != 1 else ''}",
+                file=self._stream, flush=True,
+            )
+
+
+class RunEventLog:
+    """Ordered, incrementally flushed event log for corpus runs.
+
+    The runner records per-app events as they happen (in any completion
+    order); the log buffers them per app and flushes whole-app blocks in
+    input order.  Multiple sequential ``run_start``/``run_end`` cycles
+    may share one log (a driver that fans out twice appends two runs to
+    the same stream; ``t`` stays monotonic across them).
+    """
+
+    def __init__(self, sinks: Iterable[Any],
+                 clock=time.monotonic) -> None:
+        self.sinks = list(sinks)
+        self._clock = clock
+        self._t0: Optional[float] = None
+        self._names: List[str] = []
+        self._buffers: Dict[str, List] = {}
+        self._final: set = set()
+        self._next = 0
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        now = self._clock()
+        if self._t0 is None:
+            self._t0 = now
+        record = {"schema": EVENTS_SCHEMA, "event": event,
+                  "t": round(now - self._t0, 6)}
+        record.update(fields)
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def _flush_ready(self) -> None:
+        while self._next < len(self._names):
+            name = self._names[self._next]
+            if name not in self._final:
+                break
+            for event, fields in self._buffers.pop(name, ()):
+                self._emit(event, app=name, **fields)
+            self._next += 1
+
+    # -- run lifecycle --------------------------------------------------------
+
+    def run_start(self, kind: str, names: Iterable[str]) -> None:
+        self._names = list(dict.fromkeys(names))
+        self._buffers = {name: [] for name in self._names}
+        self._final = set()
+        self._next = 0
+        self._emit("run-start", kind=kind, apps=len(self._names))
+
+    def app_event(self, name: str, event: str, **fields: Any) -> None:
+        """Record one mid-flight event for ``name`` (buffered)."""
+        if name in self._buffers:
+            self._buffers[name].append((event, fields))
+
+    def app_done(self, name: str, status: str,
+                 duration_s: Optional[float] = None) -> None:
+        """Close ``name`` and flush every app whose turn has come."""
+        if name not in self._buffers or name in self._final:
+            return
+        fields: Dict[str, Any] = {"status": status}
+        if duration_s is not None:
+            fields["duration_s"] = round(duration_s, 6)
+        self._buffers[name].append(("app-done", fields))
+        self._final.add(name)
+        self._flush_ready()
+
+    def run_end(self, **fields: Any) -> None:
+        # A fail-fast abort can leave apps unclosed; flush what we have
+        # so the stream stays a faithful prefix of the run.
+        self._final.update(self._names)
+        self._flush_ready()
+        self._emit("run-end", **fields)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+# -- reading ------------------------------------------------------------------
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse an events JSONL file; raises ValueError on malformed lines
+    or on records without the expected schema stamp."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict) \
+                    or record.get("schema") != EVENTS_SCHEMA:
+                raise ValueError(
+                    f"line {lineno} is not a nadroid event "
+                    f"(expected schema {EVENTS_SCHEMA})"
+                )
+            records.append(record)
+    return records
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile over a non-empty list (deterministic)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize_events(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The funnel and latency digest of one event stream."""
+    summary: Dict[str, Any] = {
+        "runs": 0, "apps": 0, "analyzed": 0, "cached": 0, "faulted": 0,
+        "retries": 0, "timeouts": 0, "fault_kinds": {},
+        "latency": None,
+    }
+    durations: List[float] = []
+    for record in records:
+        event = record.get("event")
+        if event == "run-start":
+            summary["runs"] += 1
+            summary["apps"] += int(record.get("apps", 0))
+        elif event == "retry":
+            summary["retries"] += 1
+        elif event == "timeout":
+            summary["timeouts"] += 1
+        elif event == "fault":
+            kind = str(record.get("kind", "unknown"))
+            summary["fault_kinds"][kind] = \
+                summary["fault_kinds"].get(kind, 0) + 1
+        elif event == "app-done":
+            status = record.get("status")
+            if status == "analyzed":
+                summary["analyzed"] += 1
+            elif status == "cached":
+                summary["cached"] += 1
+            elif status == "faulted":
+                summary["faulted"] += 1
+            if record.get("duration_s") is not None:
+                durations.append(float(record["duration_s"]))
+    if durations:
+        summary["latency"] = {
+            "apps": len(durations),
+            "p50_s": percentile(durations, 0.50),
+            "p95_s": percentile(durations, 0.95),
+            "max_s": max(durations),
+        }
+    return summary
+
+
+def render_events_summary(summary: Dict[str, Any]) -> str:
+    """Human rendering of :func:`summarize_events`."""
+    lines = [
+        f"{summary['runs']} run(s), {summary['apps']} apps",
+        f"  analyzed : {summary['analyzed']}",
+        f"  cached   : {summary['cached']}",
+        f"  faulted  : {summary['faulted']}",
+    ]
+    if summary["retries"]:
+        lines.append(f"  retries  : {summary['retries']}")
+    if summary["timeouts"]:
+        lines.append(f"  timeouts : {summary['timeouts']}")
+    for kind in sorted(summary["fault_kinds"]):
+        lines.append(f"  fault[{kind}]: {summary['fault_kinds'][kind]}")
+    latency = summary["latency"]
+    if latency:
+        lines.append(
+            f"per-app latency over {latency['apps']} apps: "
+            f"p50 {latency['p50_s'] * 1000:.1f}ms  "
+            f"p95 {latency['p95_s'] * 1000:.1f}ms  "
+            f"max {latency['max_s'] * 1000:.1f}ms"
+        )
+    else:
+        lines.append("per-app latency: no completed apps")
+    return "\n".join(lines)

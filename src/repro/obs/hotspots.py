@@ -1,0 +1,146 @@
+"""Hotspot attribution: who burns the time inside the fixpoint cores.
+
+Stage spans say *how long* detection took; hotspot metrics say *where*
+inside it.  The two incremental cores attribute their inner loops to
+named units of work under a shared ``hotspot.`` metric namespace:
+
+* the Datalog engine records, per compiled rule and per stratum, the
+  cumulative join time and the number of facts the unit derived
+  (``hotspot.datalog.rule.<id>.facts`` / ``.seconds``,
+  ``hotspot.datalog.stratum.<i>.facts`` / ``.seconds``);
+* the points-to worklist solver records, per ``(method, context)``
+  pair, how often the pair was popped and the cumulative
+  ``_process`` time (``hotspot.pointsto.pair.<key>.pops`` /
+  ``.seconds``).
+
+Counts land in **counters** (deterministic: identical across ``--jobs``
+settings and gated by ``bench --compare``, see
+:data:`repro.harness.bench.GATED_COUNTER_PREFIXES`); times land in
+**gauges** (measurements).  Both ride inside the ordinary
+:class:`~repro.obs.metrics.MetricsSnapshot`, so they cross the worker
+process boundary, enter the result-cache envelope, and replay on cache
+hits exactly like span trees do.
+
+:func:`collect_hotspots` turns snapshots back into a ranked table;
+ranking is by the deterministic count (then name), never by time, so a
+top-K table is byte-identical across runs once the time column is
+normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: metric namespace prefix shared by every attribution counter/gauge
+HOTSPOT_PREFIX = "hotspot."
+
+#: attribution domains, longest-prefix-first for parsing
+DOMAINS = ("datalog.rule", "datalog.stratum", "pointsto.pair")
+
+#: counter suffixes that carry the deterministic count of a unit
+_COUNT_METRICS = ("facts", "pops")
+#: gauge suffix that carries the cumulative seconds of a unit
+_TIME_METRIC = "seconds"
+
+
+@dataclass
+class HotspotEntry:
+    """One attributed unit of work, aggregated over snapshots."""
+
+    domain: str   #: ``datalog.rule`` | ``datalog.stratum`` | ``pointsto.pair``
+    name: str     #: rule id, stratum index, or ``method@context`` key
+    count: int    #: derived facts (datalog) or worklist pops (points-to)
+    seconds: float
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Deterministic ranking: count descending, then domain, name."""
+        return (-self.count, self.domain, self.name)
+
+
+def _parse(metric: str) -> Tuple[str, str, str]:
+    """Split ``hotspot.<domain>.<name>.<metric>``; raises ValueError."""
+    rest = metric[len(HOTSPOT_PREFIX):]
+    for domain in DOMAINS:
+        if rest.startswith(domain + "."):
+            body = rest[len(domain) + 1:]
+            name, _, suffix = body.rpartition(".")
+            if name and suffix:
+                return domain, name, suffix
+    raise ValueError(f"unrecognized hotspot metric {metric!r}")
+
+
+def collect_hotspots(snapshots: Iterable[Any]) -> List[HotspotEntry]:
+    """Aggregate ``hotspot.*`` metrics from snapshots into ranked entries.
+
+    Counts and seconds are *summed* across snapshots (per-app snapshots
+    of one corpus run aggregate into corpus-wide attribution; the same
+    rule in two apps is one row).  Unparseable ``hotspot.*`` names are
+    ignored -- forward compatibility with newer emitters.
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    seconds: Dict[Tuple[str, str], float] = {}
+    for snapshot in snapshots:
+        for metric, value in snapshot.counters.items():
+            if not metric.startswith(HOTSPOT_PREFIX):
+                continue
+            try:
+                domain, name, suffix = _parse(metric)
+            except ValueError:
+                continue
+            if suffix in _COUNT_METRICS:
+                key = (domain, name)
+                counts[key] = counts.get(key, 0) + int(value)
+        for metric, value in snapshot.gauges.items():
+            if not metric.startswith(HOTSPOT_PREFIX):
+                continue
+            try:
+                domain, name, suffix = _parse(metric)
+            except ValueError:
+                continue
+            if suffix == _TIME_METRIC:
+                key = (domain, name)
+                seconds[key] = seconds.get(key, 0.0) + float(value)
+    entries = [
+        HotspotEntry(domain=key[0], name=key[1],
+                     count=counts.get(key, 0),
+                     seconds=seconds.get(key, 0.0))
+        for key in set(counts) | set(seconds)
+    ]
+    entries.sort(key=lambda e: e.sort_key)
+    return entries
+
+
+def top_hotspots(entries: List[HotspotEntry], top: int,
+                 domain: str = "") -> List[HotspotEntry]:
+    """The first ``top`` entries, optionally restricted to one domain."""
+    if domain:
+        entries = [e for e in entries if e.domain == domain]
+    return entries[:max(0, top)]
+
+
+def render_hotspots(entries: List[HotspotEntry], top: int = 20) -> str:
+    """The deterministic top-K hotspot table.
+
+    Rank and the count column depend only on the analyzed input; the
+    seconds column is the only measurement, so normalizing it yields a
+    byte-identical table across ``--jobs`` settings.
+    """
+    selected = top_hotspots(entries, top)
+    if not selected:
+        return "no hotspot metrics recorded"
+    name_width = max(4, *(len(e.name) for e in selected))
+    header = (f"{'#':>3} {'domain':<16} {'name':<{name_width}} "
+              f"{'count':>10} {'seconds':>10}")
+    lines = [header, "-" * len(header)]
+    for rank, entry in enumerate(selected, start=1):
+        lines.append(
+            f"{rank:>3} {entry.domain:<16} {entry.name:<{name_width}} "
+            f"{entry.count:>10} {entry.seconds:>10.4f}"
+        )
+    total = len(entries)
+    if total > len(selected):
+        lines.append(f"... {total - len(selected)} more unit(s) below the "
+                     f"top {len(selected)}")
+    return "\n".join(lines)

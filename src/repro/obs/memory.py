@@ -1,0 +1,98 @@
+"""tracemalloc-backed memory gauges, per stage and per app.
+
+Enabled by ``--memory``: the worker process starts :mod:`tracemalloc`
+around its task and attaches a :class:`MemoryTracker` to the task's
+recorder.  Every span then records a ``*.peak_*`` gauge with the peak
+traced allocation inside its own window:
+
+* ``mem.app.peak_kb`` -- the ``app:<name>`` task root (one per app);
+* ``mem.stage.<span>.peak_kb`` -- each pipeline stage span
+  (``lowering``, ``modeling``, ``detection``, ``pointsto``, ...).
+
+Nested spans are handled by resetting tracemalloc's peak at every span
+boundary and propagating a child's observed peak into its parent's
+running maximum, so a parent's gauge is the true high-water mark of its
+whole window, not just of the tail after its last child.  (On
+interpreters without ``tracemalloc.reset_peak`` -- Python < 3.9 -- the
+per-stage windows degrade to "peak so far", which is still an upper
+bound; the per-app gauge is exact either way.)
+
+The gauges ride the ordinary metrics snapshot: they cross the worker
+pool inside the ``{"data", "obs"}`` cache envelope and replay on cache
+hits like span durations do.  They are measurements, not work counters:
+``merge_snapshots`` combines same-named ``*.peak_*`` gauges max-wins
+(see :mod:`repro.obs.metrics`), and ``bench --compare`` never gates on
+them.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator, List
+
+_HAS_RESET_PEAK = hasattr(tracemalloc, "reset_peak")
+
+
+def gauge_name_for_span(span_name: str) -> str:
+    """The gauge a span's peak lands in (task roots map to ``app``)."""
+    if span_name.startswith("app:"):
+        return "mem.app.peak_kb"
+    return f"mem.stage.{span_name}.peak_kb"
+
+
+class MemoryTracker:
+    """Attach per-span peak-memory gauges to a recorder.
+
+    The tracker assumes tracemalloc is tracing while spans run (see
+    :func:`track_memory`); with tracing off its callbacks are no-ops, so
+    an installed tracker never breaks an uninstrumented run.
+    """
+
+    def __init__(self, recorder) -> None:
+        self.recorder = recorder
+        #: running peak (bytes) per open span, innermost last
+        self._stack: List[float] = []
+        recorder.on_span_start.append(self._on_start)
+        recorder.on_span_end.append(self._on_end)
+
+    def _on_start(self, span) -> None:
+        if not tracemalloc.is_tracing():
+            return
+        peak = tracemalloc.get_traced_memory()[1]
+        if self._stack:
+            self._stack[-1] = max(self._stack[-1], peak)
+        self._stack.append(0.0)
+        if _HAS_RESET_PEAK:
+            tracemalloc.reset_peak()
+
+    def _on_end(self, span) -> None:
+        if not tracemalloc.is_tracing() or not self._stack:
+            return
+        peak = max(self._stack.pop(), tracemalloc.get_traced_memory()[1])
+        self.recorder.max_gauge(gauge_name_for_span(span.name),
+                                peak / 1024.0)
+        if self._stack:
+            self._stack[-1] = max(self._stack[-1], peak)
+        if _HAS_RESET_PEAK:
+            tracemalloc.reset_peak()
+
+
+@contextmanager
+def track_memory(recorder) -> Iterator[MemoryTracker]:
+    """Trace allocations for the duration of the block.
+
+    Starts tracemalloc (unless an outer scope already did -- then the
+    outer owner keeps it) and installs a :class:`MemoryTracker` on
+    ``recorder``, so every span entered inside the block records its
+    peak gauge.
+    """
+    tracker = MemoryTracker(recorder)
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    try:
+        yield tracker
+    finally:
+        if started_here:
+            tracemalloc.stop()

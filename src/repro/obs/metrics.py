@@ -3,16 +3,28 @@
 The corpus runner analyzes each app in its own worker process under a
 fresh :class:`repro.obs.Recorder`; the recorder's snapshot travels back
 (and into the result cache) as a plain dict.  :func:`merge_snapshots`
-combines per-app snapshots into corpus totals: counters and gauges are
-summed -- every metric the pipeline records is an additive quantity --
-and span trees are concatenated in input order, so a merged snapshot is
+combines per-app snapshots into corpus totals.  Counters are summed --
+every counter the pipeline records is an additive quantity.  Gauges are
+*measurements*, not additive quantities, so they merge by policy:
+
+* gauges matching :data:`PEAK_GAUGE_PATTERN` (``*.peak_*``, e.g.
+  ``mem.app.peak_kb``) are high-water marks and merge **max-wins**;
+* every other same-named gauge merges **last-write-wins** (input order),
+  matching ``Recorder.set_gauge`` semantics within one process.
+
+Span trees are concatenated in input order, so a merged snapshot is
 independent of worker scheduling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from typing import Any, Dict, Iterable, List
+
+#: gauges whose names match this pattern are high-water marks: merging
+#: two snapshots keeps the max instead of the last-written value
+PEAK_GAUGE_PATTERN = "*.peak_*"
 
 
 @dataclass
@@ -45,12 +57,21 @@ class MetricsSnapshot:
 
 
 def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
-    """Sum counters and gauges; concatenate span trees in input order."""
+    """Sum counters; merge gauges by policy; concatenate span trees.
+
+    Gauge policy (see the module docstring): ``*.peak_*`` gauges are
+    high-water marks and take the max across snapshots; any other
+    same-named gauge is last-write-wins in input order.
+    """
     merged = MetricsSnapshot()
     for snap in snapshots:
         for name, value in snap.counters.items():
             merged.counters[name] = merged.counters.get(name, 0) + value
         for name, value in snap.gauges.items():
-            merged.gauges[name] = merged.gauges.get(name, 0.0) + value
+            if fnmatchcase(name, PEAK_GAUGE_PATTERN) \
+                    and name in merged.gauges:
+                merged.gauges[name] = max(merged.gauges[name], value)
+            else:
+                merged.gauges[name] = value
         merged.spans.extend(snap.spans)
     return merged

@@ -97,6 +97,8 @@ class Recorder:
         self.roots: List[Span] = []
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
+        #: callbacks fired with each span right after it begins
+        self.on_span_start: List[Callable[[Span], None]] = []
         #: callbacks fired with each span as it closes
         self.on_span_end: List[Callable[[Span], None]] = []
         self.profile_stages = frozenset(profile_stages)
@@ -120,6 +122,8 @@ class Recorder:
             self._profiling = True
             profiler.enable()
         node.begin()
+        for callback in self.on_span_start:
+            callback(node)
         try:
             yield node
         finally:
@@ -141,6 +145,18 @@ class Recorder:
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Set a gauge to the max of its current value and ``value`` --
+        the right update for ``*.peak_*`` high-water-mark gauges."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def add_gauge(self, name: str, delta: float) -> None:
+        """Accumulate a float gauge -- the right update for cumulative
+        measurements like per-rule join seconds."""
+        self.gauges[name] = self.gauges.get(name, 0.0) + delta
 
     def snapshot(self) -> "MetricsSnapshot":
         from .metrics import MetricsSnapshot
@@ -216,3 +232,11 @@ def set_gauge(name: str, value: float) -> None:
     recorder = _current.get()
     if recorder is not None:
         recorder.set_gauge(name, value)
+
+
+def add_gauge(name: str, delta: float) -> None:
+    """Accumulate a float gauge on the current recorder (no-op without
+    one).  Used for cumulative measurements such as hotspot seconds."""
+    recorder = _current.get()
+    if recorder is not None:
+        recorder.add_gauge(name, delta)

@@ -127,11 +127,24 @@ def render_diff(diff: ReportDiff) -> str:
         lines.append("changed classification:")
         lines.extend(_describe(diff.changed))
     if diff.metric_deltas:
+        # Hotspot attribution counters are numerous (one per rule /
+        # stratum / context pair) and usually change together, e.g.
+        # when one side predates the hotspot namespace entirely; a
+        # single summary line keeps the diff readable.  They still
+        # participate in `clean`, just not line-by-line.
+        plain = {name: value for name, value in diff.metric_deltas.items()
+                 if not name.startswith("hotspot.")}
+        hotspot_count = len(diff.metric_deltas) - len(plain)
         lines.append("metric deltas (new - old):")
         lines.extend(
             f"  {name}: {value:+d}"
-            for name, value in sorted(diff.metric_deltas.items())
+            for name, value in sorted(plain.items())
         )
+        if hotspot_count:
+            lines.append(
+                f"  (+{hotspot_count} hotspot.* attribution counter "
+                f"delta(s) not listed)"
+            )
     else:
         lines.append("metric deltas: none")
     return "\n".join(lines)

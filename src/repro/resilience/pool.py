@@ -35,7 +35,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .deadline import deadline_scope
 from .errors import (
@@ -66,6 +66,15 @@ class FaultPolicy:
     keep_going: bool = False
 
 
+#: optional pool observer: called as ``observer(event, name, payload)``
+#: with events ``"start"`` (first attempt spawned, payload ``None``),
+#: ``"retry"`` (transient fault re-submitted, payload the fault),
+#: ``"fault"`` (final fault recorded under keep-going, payload the
+#: fault) and ``"ok"`` (payload the success envelope).  Fail-fast
+#: aborts raise :class:`FaultError` without a ``"fault"`` callback.
+Observer = Callable[[str, str, Any], None]
+
+
 @dataclass
 class PoolOutcome:
     """What one batch of tasks actually did."""
@@ -84,6 +93,7 @@ def _finalize(
     attempt: int,
     policy: FaultPolicy,
     outcome: PoolOutcome,
+    observer: Optional[Observer] = None,
 ) -> bool:
     """Apply the retry/keep-going policy to one fault.
 
@@ -93,11 +103,15 @@ def _finalize(
     """
     if fault.transient and attempt <= policy.max_retries:
         outcome.retries += 1
+        if observer is not None:
+            observer("retry", name, fault)
         return True
     if not policy.keep_going:
         raise FaultError(fault)
     outcome.envelopes[name] = {"error": fault.to_dict()}
     outcome.faults[name] = fault
+    if observer is not None:
+        observer("fault", name, fault)
     return False
 
 
@@ -109,6 +123,7 @@ def run_serial(
     names: Sequence[str],
     params: Dict[str, Any],
     policy: FaultPolicy,
+    observer: Optional[Observer] = None,
 ) -> PoolOutcome:
     """The in-process twin of :func:`run_parallel` (``--jobs 1``)."""
     from ..runner.runner import execute_app_task_observed
@@ -117,6 +132,8 @@ def run_serial(
     for name in names:
         attempt = 1
         while True:
+            if attempt == 1 and observer is not None:
+                observer("start", name, None)
             try:
                 with deadline_scope(policy.timeout):
                     envelope = execute_app_task_observed(kind, name, params)
@@ -125,11 +142,14 @@ def run_serial(
 
                 fault = fault_from_exception(exc, name,
                                              stage=current_stage())
-                if _finalize(name, fault, attempt, policy, outcome):
+                if _finalize(name, fault, attempt, policy, outcome,
+                             observer):
                     attempt += 1
                     continue
                 break
             outcome.envelopes[name] = envelope
+            if observer is not None:
+                observer("ok", name, envelope)
             break
     return outcome
 
@@ -189,6 +209,7 @@ def run_parallel(
     params: Dict[str, Any],
     jobs: int,
     policy: FaultPolicy,
+    observer: Optional[Observer] = None,
 ) -> PoolOutcome:
     """Fan tasks out, one killable process each, at most ``jobs`` live."""
     ctx = _pool_context()
@@ -197,6 +218,8 @@ def run_parallel(
     active: Dict[str, _Active] = {}
 
     def spawn(name: str, attempt: int) -> None:
+        if attempt == 1 and observer is not None:
+            observer("start", name, None)
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_child_main, args=(child_conn, kind, name, params)
@@ -217,7 +240,7 @@ def run_parallel(
 
     def settle(name: str, fault: Fault, attempt: int) -> None:
         try:
-            if _finalize(name, fault, attempt, policy, outcome):
+            if _finalize(name, fault, attempt, policy, outcome, observer):
                 queue.append((name, attempt + 1))
         except FaultError:
             abort_all()
@@ -247,6 +270,8 @@ def run_parallel(
                 entry.reap()
                 if status == "ok":
                     outcome.envelopes[name] = payload
+                    if observer is not None:
+                        observer("ok", name, payload)
                 elif status == "error":
                     settle(name, fault_from_dict(payload), entry.attempt)
                 else:
@@ -272,11 +297,12 @@ def run_tasks(
     params: Dict[str, Any],
     jobs: int,
     policy: Optional[FaultPolicy] = None,
+    observer: Optional[Observer] = None,
 ) -> PoolOutcome:
     """Execute tasks under ``policy``, parallel when ``jobs > 1`` and
     more than one task is pending."""
     policy = policy or FaultPolicy()
     if jobs > 1 and len(names) > 1:
         return run_parallel(kind, names, params, min(jobs, len(names)),
-                            policy)
-    return run_serial(kind, names, params, policy)
+                            policy, observer)
+    return run_serial(kind, names, params, policy, observer)

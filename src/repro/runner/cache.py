@@ -34,8 +34,10 @@ from .. import __version__
 #: per-app metrics snapshot alongside the task payload; 3: occurrences
 #: carry provenance -- filter witnesses, lineage chains, alias witnesses
 #: -- and every stored envelope is stamped with its schema so stale
-#: entries read back as misses instead of half-empty explanations)
-CACHE_SCHEMA = 3
+#: entries read back as misses instead of half-empty explanations;
+#: 4: snapshots gained hotspot attribution metrics and optional
+#: ``mem.*.peak_kb`` gauges, which must replay on hits)
+CACHE_SCHEMA = 4
 
 
 def default_cache_dir() -> Path:

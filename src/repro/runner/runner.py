@@ -26,8 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..obs import merge_snapshots, MetricsSnapshot, Recorder
-from ..obs import span as obs_span, use as obs_use
+from ..obs import merge_snapshots, MetricsSnapshot, Recorder, RunEventLog
+from ..obs import span as obs_span, track_memory, use as obs_use
 from ..resilience import (
     active_plan,
     checkpoint,
@@ -128,10 +128,28 @@ def execute_app_task_observed(kind: str, app_name: str,
     recorder = Recorder()
     with task_scope(app_name):
         with obs_use(recorder):
-            with obs_span(f"app:{app_name}", kind=kind):
-                checkpoint("task")
-                data = _TASKS[kind](app_name, params)
+            if params.get("memory"):
+                # opt-in tracemalloc gauges (mem.app.peak_kb and
+                # mem.stage.<span>.peak_kb) ride the same snapshot
+                with track_memory(recorder):
+                    with obs_span(f"app:{app_name}", kind=kind):
+                        checkpoint("task")
+                        data = _TASKS[kind](app_name, params)
+            else:
+                with obs_span(f"app:{app_name}", kind=kind):
+                    checkpoint("task")
+                    data = _TASKS[kind](app_name, params)
     return {"data": data, "obs": recorder.snapshot().to_dict()}
+
+
+def _envelope_duration(envelope: Dict[str, Any]) -> Optional[float]:
+    """The worker-measured wall time of an envelope's root app span."""
+    try:
+        spans = envelope["obs"]["spans"]
+        duration = spans[0]["duration_s"]
+    except (KeyError, IndexError, TypeError):
+        return None
+    return float(duration) if duration is not None else None
 
 
 def _source_for(kind: str, app_name: str, params: Dict[str, Any]) -> str:
@@ -245,14 +263,24 @@ class CorpusRunner:
     fault under ``keep_going`` come back as ``{"error": {...}}``
     payloads -- drivers skip them -- and the normalized faults are
     exposed, in input-app order, as :attr:`last_faults`.
+
+    ``events`` attaches a :class:`repro.obs.RunEventLog`: the runner
+    narrates each run as a structured event stream (run-start, per-app
+    lifecycle, run-end) flushed in input-app order.  ``memory=True``
+    turns on tracemalloc peak gauges in every worker; it joins the cache
+    fingerprint, so instrumented and plain runs never share entries.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 policy: Optional[FaultPolicy] = None) -> None:
+                 policy: Optional[FaultPolicy] = None,
+                 events: Optional[RunEventLog] = None,
+                 memory: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.policy = policy or FaultPolicy()
+        self.events = events
+        self.memory = bool(memory)
         self.last_stats: Optional[RunStats] = None
         self.last_metrics: Optional[RunMetrics] = None
         self.last_faults: List[Fault] = []
@@ -285,12 +313,19 @@ class CorpusRunner:
                              f"expected one of {TASK_KINDS}")
         start = time.perf_counter()
         params = dict(params or {})
+        if self.memory:
+            # only set when on, so plain runs keep their cache keys
+            params["memory"] = True
         fingerprint = self._fingerprint(params)
         cache_base = (
             (self.cache.hits, self.cache.misses, self.cache.stores,
              self.cache.corrupt)
             if self.cache is not None else (0, 0, 0, 0)
         )
+
+        events = self.events
+        if events is not None:
+            events.run_start(kind, app_names)
 
         envelopes: Dict[str, Dict[str, Any]] = {}
         keys: Dict[str, str] = {}
@@ -305,14 +340,37 @@ class CorpusRunner:
                 hit = self.cache.lookup(key)
                 if hit is not None:
                     envelopes[name] = hit
+                    if events is not None:
+                        events.app_event(name, "app-start")
+                        events.app_event(name, "cache-hit")
+                        events.app_done(name, "cached",
+                                        _envelope_duration(hit))
                     continue
             pending.append(name)
+
+        observer = None
+        if events is not None:
+            def observer(event: str, name: str, payload: Any) -> None:
+                if event == "start":
+                    events.app_event(name, "app-start")
+                elif event == "retry":
+                    events.app_event(name, "retry", kind=payload.kind)
+                elif event == "fault":
+                    if payload.kind == "timeout" \
+                            and self.policy.timeout is not None:
+                        events.app_event(name, "timeout",
+                                         seconds=self.policy.timeout)
+                    events.app_event(name, "fault", kind=payload.kind)
+                    events.app_done(name, "faulted")
+                elif event == "ok":
+                    events.app_done(name, "analyzed",
+                                    _envelope_duration(payload))
 
         retries = 0
         faults: Dict[str, Fault] = {}
         if pending:
             outcome = run_tasks(kind, pending, params, self.jobs,
-                                self.policy)
+                                self.policy, observer)
             envelopes.update(outcome.envelopes)
             retries = outcome.retries
             faults = outcome.faults
@@ -340,6 +398,13 @@ class CorpusRunner:
             stats.cache_misses = self.cache.misses - cache_base[1]
             stats.cache_stores = self.cache.stores - cache_base[2]
             stats.cache_corrupt = self.cache.corrupt - cache_base[3]
+        if events is not None:
+            events.run_end(
+                analyzed=stats.analyzed,
+                cached=stats.cached,
+                faulted=stats.faulted,
+                wall_seconds=round(stats.wall_seconds, 6),
+            )
         self.last_stats = stats
         self.last_faults = [faults[name] for name in app_names
                             if name in faults]

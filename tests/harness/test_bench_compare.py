@@ -76,6 +76,29 @@ def test_missing_counter_never_gates():
         comparison["apps"]["alpha"]["counters"]
 
 
+def test_hotspot_prefix_counters_gate_when_present_on_both_sides():
+    old = payload()
+    old["apps"]["alpha"]["counters"]["hotspot.datalog.rule.r#0.0.facts"] = 10
+    new = copy.deepcopy(old)
+    new["apps"]["alpha"]["counters"]["hotspot.datalog.rule.r#0.0.facts"] = 11
+    comparison = compare_bench(old, new)
+    assert has_regressions(comparison)
+    (reg,) = comparison["regressions"]
+    assert reg["name"] == "hotspot.datalog.rule.r#0.0.facts"
+    assert reg["old"] == 10 and reg["new"] == 11
+
+
+def test_hotspot_counter_missing_on_one_side_never_gates():
+    """Committed baselines predate the hotspot namespace; a candidate
+    that adds hotspot.* counters must still compare clean."""
+    old = payload()
+    new = copy.deepcopy(old)
+    new["apps"]["alpha"]["counters"]["hotspot.datalog.rule.r#0.0.facts"] = 11
+    assert not has_regressions(compare_bench(old, new))
+    # and the other direction: a baseline with them, a candidate without
+    assert not has_regressions(compare_bench(new, old))
+
+
 def test_time_regression_beyond_tolerance_and_slack():
     old = payload(total=2.0)
     new = payload(total=2.9)

@@ -1,0 +1,45 @@
+"""Edge cases in the text exporters: zero-duration spans, unclosed
+spans, and run summaries built from sparse snapshots."""
+
+from repro.obs import MetricsSnapshot, render_spans
+from repro.obs.export import describe_run
+
+
+def test_render_spans_zero_duration_span():
+    text = render_spans([{"name": "noop", "duration_s": 0.0}])
+    assert text == "noop  0.00ms"
+
+
+def test_render_spans_unclosed_span_shows_a_question_mark():
+    """A crash can serialize a span before it closes; the renderer must
+    not blow up on the missing duration."""
+    spans = [{
+        "name": "app:demo", "duration_s": None,
+        "children": [{"name": "lowering", "duration_s": 0.002}],
+    }]
+    lines = render_spans(spans).splitlines()
+    assert lines[0] == "app:demo  ?"
+    assert lines[1] == "  lowering  2.00ms"
+
+
+def test_render_spans_boundary_between_ms_and_s():
+    text = render_spans([{"name": "slow", "duration_s": 1.5},
+                         {"name": "fast", "duration_s": 0.9994}])
+    assert text.splitlines() == ["slow  1.50s", "fast  999.40ms"]
+
+
+def test_describe_run_with_gauges_but_no_counters():
+    """A run that analyzed nothing (empty corpus) still produces a
+    coherent line from gauges alone."""
+    snapshot = MetricsSnapshot(
+        counters={},
+        gauges={"runner.jobs": 4.0, "runner.wall_seconds": 1.25},
+        spans=[],
+    )
+    assert describe_run(snapshot) == \
+        "0 apps (0 analyzed, 0 from cache) in 1.25s with 4 jobs"
+
+
+def test_describe_run_empty_snapshot():
+    line = describe_run(MetricsSnapshot(counters={}, gauges={}, spans=[]))
+    assert line == "0 apps (0 analyzed, 0 from cache) in 0.00s with 1 job"

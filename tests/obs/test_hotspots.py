@@ -1,0 +1,166 @@
+"""Hotspot attribution: emitters in the two fixpoint cores, the
+collector, and the deterministic top-K table."""
+
+import pytest
+
+from repro import obs
+from repro.analysis import run_pointsto
+from repro.datalog import engine as dl_engine
+from repro.datalog.terms import Literal, Program, Rule, Var
+from repro.lowering import compile_app
+from repro.obs import (
+    collect_hotspots,
+    HotspotEntry,
+    Recorder,
+    render_hotspots,
+    top_hotspots,
+)
+from repro.obs.hotspots import _parse
+from repro.threadify import threadify
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+def _path_program():
+    program = Program()
+    program.add_facts("edge", [("a", "b"), ("b", "c"), ("c", "d")])
+    program.rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+    program.rule(Literal("path", (X, Z)),
+                 Literal("edge", (X, Y)), Literal("path", (Y, Z)))
+    return program
+
+
+APP = """
+class MainActivity extends Activity {
+    Worker w;
+    void onCreate() { this.w = new Worker(); }
+    void onClick() { this.w.ping(); }
+}
+class Worker {
+    void ping() { }
+}
+"""
+
+
+# -- emitters -----------------------------------------------------------------
+
+
+def test_datalog_emits_per_rule_and_per_stratum_attribution():
+    rec = Recorder()
+    with obs.use(rec):
+        relations = dl_engine.evaluate(_path_program())
+    assert len(relations["path"]) == 6
+    # rule ids are <head>#<stratum>.<rule>: both rules live in stratum 0
+    assert rec.counters["hotspot.datalog.rule.path#0.0.facts"] == 3
+    assert rec.counters["hotspot.datalog.rule.path#0.1.facts"] == 3
+    assert rec.counters["hotspot.datalog.stratum.0.facts"] == 6
+    # per-rule facts sum to the existing derived-facts counter, which
+    # must be unchanged by the instrumentation
+    assert rec.counters["datalog.derived_facts"] == 6
+    for name in ("hotspot.datalog.rule.path#0.0.seconds",
+                 "hotspot.datalog.rule.path#0.1.seconds",
+                 "hotspot.datalog.stratum.0.seconds"):
+        assert rec.gauges[name] >= 0.0
+
+
+def test_datalog_zero_fact_rules_still_get_a_counter():
+    """The counter key set is a function of the program alone, so a
+    rule that never fires still appears (deterministically) with 0."""
+    program = Program()
+    program.add_facts("edge", [("a", "b")])
+    program.rule(Literal("path", (X, Y)), Literal("edge", (X, Y)))
+    # never fires: no self-loop edges exist
+    program.rule(Literal("loop", (X, X)), Literal("edge", (X, X)))
+    rec = Recorder()
+    with obs.use(rec):
+        dl_engine.evaluate(program)
+    assert rec.counters["hotspot.datalog.rule.loop#0.1.facts"] == 0
+
+
+def test_pointsto_emits_per_pair_attribution():
+    module = compile_app([("app.mjava", APP)], seal=False)
+    program = threadify(module)
+    rec = Recorder()
+    with obs.use(rec):
+        result = run_pointsto(program.module)
+    pops = {name: value for name, value in rec.counters.items()
+            if name.startswith("hotspot.pointsto.pair.")}
+    assert pops, "expected per-pair pop counters"
+    # every pair key ends in .pops and total pops match the existing
+    # worklist counter, which stays untouched
+    assert all(name.endswith(".pops") for name in pops)
+    assert sum(pops.values()) == rec.counters["pointsto.worklist.popped"]
+    # the entry pair is context-free: qname@ with an empty context
+    assert "hotspot.pointsto.pair.DummyMain.main@.pops" in pops
+    for name in pops:
+        gauge = name[:-len("pops")] + "seconds"
+        assert rec.gauges[gauge] >= 0.0
+    assert result.var_pts  # the analysis still computed something
+
+
+def test_hotspot_counters_are_deterministic_across_runs():
+    def snapshot_counters():
+        rec = Recorder()
+        with obs.use(rec):
+            dl_engine.evaluate(_path_program())
+        return {name: value for name, value in rec.counters.items()
+                if name.startswith("hotspot.")}
+
+    assert snapshot_counters() == snapshot_counters()
+
+
+# -- collector and table ------------------------------------------------------
+
+
+def test_parse_handles_dotted_names_and_rejects_unknown_domains():
+    assert _parse("hotspot.datalog.rule.path#0.1.facts") == \
+        ("datalog.rule", "path#0.1", "facts")
+    assert _parse("hotspot.pointsto.pair.A.m@B.n#3.pops") == \
+        ("pointsto.pair", "A.m@B.n#3", "pops")
+    with pytest.raises(ValueError):
+        _parse("hotspot.unknown.domain.x.facts")
+
+
+def test_collect_hotspots_sums_across_snapshots_and_ranks_by_count():
+    first, second = Recorder(), Recorder()
+    for rec, facts in ((first, 5), (second, 7)):
+        rec.add("hotspot.datalog.rule.r#0.0.facts", facts)
+        rec.add_gauge("hotspot.datalog.rule.r#0.0.seconds", 0.5)
+        rec.add("hotspot.pointsto.pair.A.m@.pops", 1)
+        rec.add_gauge("hotspot.pointsto.pair.A.m@.seconds", 0.1)
+        rec.add("unrelated.counter", 99)
+    entries = collect_hotspots([first.snapshot(), second.snapshot()])
+    assert [(e.domain, e.name, e.count) for e in entries] == [
+        ("datalog.rule", "r#0.0", 12),
+        ("pointsto.pair", "A.m@", 2),
+    ]
+    assert entries[0].seconds == pytest.approx(1.0)
+    assert entries[1].seconds == pytest.approx(0.2)
+
+
+def test_collect_hotspots_ignores_unparseable_names():
+    rec = Recorder()
+    rec.add("hotspot.future.domain.x.facts", 3)
+    assert collect_hotspots([rec.snapshot()]) == []
+
+
+def test_top_hotspots_restricts_by_domain():
+    entries = [
+        HotspotEntry("datalog.rule", "a", 10, 0.0),
+        HotspotEntry("pointsto.pair", "b", 5, 0.0),
+    ]
+    assert top_hotspots(entries, 10, domain="pointsto.pair") == [entries[1]]
+    assert top_hotspots(entries, 1) == [entries[0]]
+
+
+def test_render_hotspots_table_shape():
+    entries = [
+        HotspotEntry("datalog.rule", "path#0.1", 42, 0.1234),
+        HotspotEntry("pointsto.pair", "A.m@", 7, 0.0),
+    ]
+    text = render_hotspots(entries, top=1)
+    lines = text.splitlines()
+    assert lines[0].split() == ["#", "domain", "name", "count", "seconds"]
+    assert "path#0.1" in lines[2] and "42" in lines[2]
+    assert lines[-1] == "... 1 more unit(s) below the top 1"
+    assert render_hotspots([], top=5) == "no hotspot metrics recorded"

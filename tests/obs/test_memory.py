@@ -1,0 +1,84 @@
+"""tracemalloc memory gauges: per-stage windows, parent propagation,
+and graceful no-ops when tracing is off."""
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import Recorder, track_memory
+from repro.obs.memory import gauge_name_for_span, MemoryTracker
+
+
+def test_gauge_name_maps_task_roots_to_the_app_gauge():
+    assert gauge_name_for_span("app:todolist") == "mem.app.peak_kb"
+    assert gauge_name_for_span("lowering") == "mem.stage.lowering.peak_kb"
+
+
+def test_track_memory_records_per_stage_and_app_gauges():
+    rec = Recorder()
+    with track_memory(rec), obs.use(rec):
+        with obs.span("app:demo"):
+            with obs.span("lowering"):
+                ballast = [bytearray(4096) for _ in range(64)]
+            with obs.span("detection"):
+                pass
+            del ballast
+    assert not tracemalloc.is_tracing()
+    gauges = rec.snapshot().gauges
+    for name in ("mem.app.peak_kb", "mem.stage.lowering.peak_kb",
+                 "mem.stage.detection.peak_kb"):
+        assert name in gauges and gauges[name] >= 0.0
+    # the lowering stage allocated ~256 KiB of ballast; its window must
+    # see a substantial fraction of it
+    assert gauges["mem.stage.lowering.peak_kb"] >= 128.0
+
+
+def test_parent_peak_is_at_least_every_childs():
+    """A child's high-water mark happens inside its parent's window, so
+    the propagated parent gauge can never undercut a child gauge."""
+    rec = Recorder()
+    with track_memory(rec), obs.use(rec):
+        with obs.span("app:demo"):
+            with obs.span("lowering"):
+                ballast = [bytearray(4096) for _ in range(64)]
+                del ballast
+            with obs.span("detection"):
+                small = bytearray(16)
+                del small
+    gauges = rec.snapshot().gauges
+    assert gauges["mem.app.peak_kb"] >= \
+        gauges["mem.stage.lowering.peak_kb"]
+    assert gauges["mem.app.peak_kb"] >= \
+        gauges["mem.stage.detection.peak_kb"]
+
+
+def test_max_gauge_keeps_the_high_water_mark():
+    rec = Recorder()
+    rec.max_gauge("mem.app.peak_kb", 10.0)
+    rec.max_gauge("mem.app.peak_kb", 4.0)
+    rec.max_gauge("mem.app.peak_kb", 25.0)
+    assert rec.gauges["mem.app.peak_kb"] == pytest.approx(25.0)
+
+
+def test_tracker_is_a_noop_when_tracing_is_off():
+    assert not tracemalloc.is_tracing()
+    rec = Recorder()
+    MemoryTracker(rec)  # installed, but tracemalloc never started
+    with obs.use(rec):
+        with obs.span("app:demo"):
+            with obs.span("lowering"):
+                pass
+    assert rec.snapshot().gauges == {}
+
+
+def test_track_memory_defers_to_an_outer_tracing_scope():
+    tracemalloc.start()
+    try:
+        rec = Recorder()
+        with track_memory(rec):
+            assert tracemalloc.is_tracing()
+        # the outer owner keeps tracing across the block's exit
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()

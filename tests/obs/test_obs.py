@@ -108,7 +108,9 @@ def test_span_roundtrip_through_dict():
 
 def test_counter_merge_across_simulated_worker_snapshots():
     """Per-worker snapshots (one per app, as the runner produces them)
-    merge by summation, independent of order."""
+    merge counters by summation, independent of order; gauges are
+    measurements, so a same-named gauge takes the last write instead
+    of a meaningless sum."""
     workers = []
     for passes in (3, 5, 7):
         rec = Recorder()
@@ -119,9 +121,26 @@ def test_counter_merge_across_simulated_worker_snapshots():
     merged = merge_snapshots(workers)
     assert merged.counters["pointsto.passes"] == 15
     assert merged.counters["shared.count"] == 3
-    assert merged.gauges["wall"] == pytest.approx(1.5)
+    assert merged.gauges["wall"] == pytest.approx(0.5)
     reversed_merge = merge_snapshots(list(reversed(workers)))
     assert merged.counters == reversed_merge.counters
+
+
+def test_gauge_merge_peak_gauges_take_the_max():
+    """``*.peak_*`` gauges are high-water marks: merging keeps the max,
+    in either order, while plain gauges stay last-write."""
+    first, second = Recorder(), Recorder()
+    first.set_gauge("mem.app.peak_kb", 100.0)
+    first.set_gauge("wall", 1.0)
+    second.set_gauge("mem.app.peak_kb", 40.0)
+    second.set_gauge("wall", 2.0)
+    snapshots = [first.snapshot(), second.snapshot()]
+    merged = merge_snapshots(snapshots)
+    assert merged.gauges["mem.app.peak_kb"] == pytest.approx(100.0)
+    assert merged.gauges["wall"] == pytest.approx(2.0)
+    reversed_merge = merge_snapshots(list(reversed(snapshots)))
+    assert reversed_merge.gauges["mem.app.peak_kb"] == pytest.approx(100.0)
+    assert reversed_merge.gauges["wall"] == pytest.approx(1.0)
 
 
 def test_snapshot_roundtrip():

@@ -351,3 +351,92 @@ def test_bench_default_filename_carries_date(tmp_path, capsys, monkeypatch):
     names = [p.name for p in tmp_path.glob("BENCH_*.json")]
     assert len(names) == 1
     assert re.fullmatch(r"BENCH_\d{4}-\d{2}-\d{2}\.json", names[0])
+
+
+def test_hotspots_renders_ranked_table(capsys):
+    code = main(["hotspots", "--apps", "todolist", "--no-cache",
+                 "--top", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = out.splitlines()
+    assert lines[0].split() == ["#", "domain", "name", "count", "seconds"]
+    assert any("datalog.stratum" in line for line in lines)
+
+
+def test_hotspots_domain_filter(capsys):
+    code = main(["hotspots", "--apps", "todolist", "--no-cache",
+                 "--domain", "pointsto.pair", "--top", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    body = [line for line in out.splitlines()[2:] if line
+            and not line.startswith("...")]
+    assert body and all("pointsto.pair" in line for line in body)
+
+
+def test_hotspots_rejects_nonpositive_top(capsys):
+    code = main(["hotspots", "--apps", "todolist", "--no-cache",
+                 "--top", "0"])
+    assert code == 2
+    assert "--top" in capsys.readouterr().err
+
+
+def test_analyze_hotspots_flag_goes_to_stderr(app_file, capsys):
+    code = main(["analyze", app_file, "--hotspots", "3"])
+    captured = capsys.readouterr()
+    assert code == 1  # warning verdict unchanged
+    assert "datalog" not in captured.out  # stdout stays byte-identical
+    header = captured.err.splitlines()[0]
+    assert header.split() == ["#", "domain", "name", "count", "seconds"]
+
+
+def test_corpus_events_out_and_summary(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    code = main(["corpus", "--apps", "todolist", "swiftnotes",
+                 "--jobs", "2", "--no-cache", "--events-out", str(events)])
+    assert code == 0
+    assert f"[events] wrote {events}" in capsys.readouterr().err
+
+    code = main(["events", "summarize", str(events)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 run(s), 2 apps" in out
+    assert "analyzed : 2" in out
+    assert "per-app latency over 2 apps" in out
+
+
+def test_events_summarize_rejects_malformed_file(tmp_path, capsys):
+    bogus = tmp_path / "events.jsonl"
+    bogus.write_text("{ nope\n")
+    code = main(["events", "summarize", str(bogus)])
+    assert code == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_corpus_events_out_unwritable_path_exits_2(capsys):
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--events-out", "/no/such/dir/events.jsonl"])
+    assert code == 2
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_corpus_progress_lines_on_stderr(capsys):
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--progress"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "[progress] 1/1 apps, 0 faults, 0 cache hits" in captured.err
+    assert "[progress]" not in captured.out
+
+
+def test_corpus_memory_gauges_reach_metrics_out(tmp_path, capsys):
+    metrics = tmp_path / "metrics.json"
+    code = main(["corpus", "--apps", "todolist", "--memory", "--no-cache",
+                 "--metrics-out", str(metrics)])
+    assert code == 0
+    capsys.readouterr()
+    import json
+
+    payload = json.loads(metrics.read_text())
+    gauges = payload["apps"]["todolist"]["gauges"]
+    assert gauges["mem.app.peak_kb"] > 0
+    assert gauges["mem.stage.lowering.peak_kb"] > 0

@@ -22,6 +22,7 @@ from repro.harness import (
 )
 from repro.runner import (
     cache_key,
+    CACHE_SCHEMA,
     CorpusRunner,
     ResultCache,
     row_to_dict,
@@ -134,7 +135,7 @@ def test_stale_schema_cache_entry_is_a_miss(specs, tmp_path):
     entries = list(tmp_path.rglob("*.json"))
     assert len(entries) == 1
     payload = json.loads(entries[0].read_text())
-    assert payload["schema"] == 3
+    assert payload["schema"] == CACHE_SCHEMA
     payload["schema"] = 2
     entries[0].write_text(json.dumps(payload))
 
@@ -146,7 +147,7 @@ def test_stale_schema_cache_entry_is_a_miss(specs, tmp_path):
     assert rows[0].name == specs[0].name
     # the entry was re-stamped with the current schema
     restamped = json.loads(entries[0].read_text())
-    assert restamped["schema"] == 3
+    assert restamped["schema"] == CACHE_SCHEMA
 
     warm = CorpusRunner(cache=ResultCache(tmp_path))
     run_table1(validate=False, apps=specs[:1], runner=warm)
