@@ -29,13 +29,18 @@ Subcommands:
 * ``cache prune``      -- sweep quarantined (or all) result-cache entries
 
 Observability (``docs/observability.md``): every corpus subcommand and
-``analyze`` accept ``--trace`` (span tree on stderr) and
-``--metrics-out PATH`` (deterministic JSON).  Corpus subcommands also
-accept ``--events-out PATH`` (structured JSONL event stream, tail-able
-mid-run), ``--progress`` (opt-in stderr progress line per finished
-app) and ``--memory`` (tracemalloc peak gauges per stage and app).
-Observability output never touches stdout, which stays byte-stable
-across ``--jobs`` settings.
+``analyze`` accept ``--trace`` (span tree on stderr), ``--metrics-out
+PATH`` (deterministic JSON) and ``--trace-out PATH`` (Chrome
+trace-event / Perfetto JSON timeline).  Corpus subcommands also accept
+``--events-out PATH`` (structured JSONL event stream, tail-able
+mid-run; ``events summarize [--json]`` digests it and ``events
+to-trace`` converts it to a timeline), ``--progress`` (opt-in stderr
+progress line per finished app), ``--memory`` (tracemalloc peak gauges
+per stage and app) and ``--serve-telemetry PORT`` (live 127.0.0.1-only
+HTTP endpoint: Prometheus ``/metrics``, ``/healthz``, ``/progress``
+JSON).  ``hotspots --flame PATH`` writes collapsed-stack flamegraph
+input.  Observability output never touches stdout, which stays
+byte-stable across ``--jobs`` settings.
 
 Reporting (``docs/reporting.md``): ``analyze``, ``explain`` and
 ``corpus`` accept ``--report-out PATH`` (deterministic report JSON) and
@@ -116,6 +121,13 @@ def _make_runner(args: argparse.Namespace):
         from .obs import ProgressSink
 
         sinks.append(ProgressSink(sys.stderr))
+    if getattr(args, "trace_out", None):
+        from .obs import MemoryEventSink
+
+        # retain the stream in memory so the Chrome trace can carry the
+        # run's instant events alongside the span lanes
+        args._trace_events = MemoryEventSink()
+        sinks.append(args._trace_events)
     events = None
     if sinks:
         from .obs import RunEventLog
@@ -123,9 +135,41 @@ def _make_runner(args: argparse.Namespace):
         events = RunEventLog(sinks)
     # remembered so main() can close the sinks even on a faulted run
     args._events_log = events
+    telemetry = _make_telemetry(args)
     return CorpusRunner(jobs=args.jobs, cache=cache, policy=policy,
                         events=events,
-                        memory=getattr(args, "memory", False))
+                        memory=getattr(args, "memory", False),
+                        telemetry=telemetry)
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """Honor --serve-telemetry: start the live endpoint before the run.
+
+    Returns the :class:`repro.obs.LiveAggregator` to attach to the
+    runner (or ``None``).  The server binds 127.0.0.1 only and is shut
+    down by main() after the run, even on faults.
+    """
+    port = getattr(args, "serve_telemetry", None)
+    if port is None:
+        return None
+    if not 0 <= port <= 65535:
+        raise CliError("--serve-telemetry must be a port number (0-65535; "
+                       "0 picks a free port)")
+    from .obs import LiveAggregator, TelemetryServer
+
+    aggregator = LiveAggregator()
+    server = TelemetryServer(aggregator, port=port)
+    try:
+        server.start()
+    except OSError as exc:
+        reason = getattr(exc, "strerror", None) or str(exc)
+        raise CliError(
+            f"cannot serve telemetry on port {port}: {reason}"
+        ) from exc
+    args._telemetry_server = server
+    print(f"[telemetry] serving on {server.url} "
+          f"(/metrics /healthz /progress)", file=sys.stderr, flush=True)
+    return aggregator
 
 
 def _corpus_apps(args: argparse.Namespace):
@@ -196,10 +240,32 @@ def _emit_observability(args, runner) -> None:
             reason = exc.strerror or str(exc)
             raise CliError(f"cannot write metrics to {out}: {reason}") from exc
         print(f"[obs] wrote {out}", file=sys.stderr)
+    out = getattr(args, "trace_out", None)
+    if out:
+        from .obs import chrome_trace, write_trace
+
+        sink = getattr(args, "_trace_events", None)
+        trace = chrome_trace(
+            metrics.apps,
+            events=sink.records if sink is not None else None,
+        )
+        try:
+            write_trace(out, trace)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(f"cannot write trace to {out}: {reason}") from exc
+        print(f"[trace] wrote {out}", file=sys.stderr)
 
 
 def _emit_report_outputs(args, report) -> None:
     """Honor --report-out / --sarif-out for an AnalysisReport."""
+    for key, flag in (("trace", "trace_out"), ("events", "events_out"),
+                      ("metrics", "metrics_out")):
+        value = getattr(args, flag, None)
+        if value:
+            # pointers only: the run report records *where* the sibling
+            # artifacts went, never their contents
+            report.artifacts[key] = str(value)
     out = getattr(args, "report_out", None)
     if out:
         from .report import write_report
@@ -277,6 +343,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 f"cannot write metrics to {args.metrics_out}: {reason}"
             ) from exc
         print(f"[obs] wrote {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        from .obs import chrome_trace, write_trace
+
+        try:
+            write_trace(args.trace_out, chrome_trace({"app": snapshot}))
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot write trace to {args.trace_out}: {reason}"
+            ) from exc
+        print(f"[trace] wrote {args.trace_out}", file=sys.stderr)
     if args.report_out or args.sarif_out:
         _emit_report_outputs(args, _single_app_report(args, result, recorder))
     counts = result.counts()
@@ -597,21 +674,62 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
     entries = collect_hotspots(metrics.apps.values()) if metrics else []
     if args.domain:
         entries = [e for e in entries if e.domain == args.domain]
+    if args.flame:
+        from .obs import collapsed_stacks
+
+        stacks = collapsed_stacks(
+            metrics.apps.values() if metrics else []
+        )
+        try:
+            with open(args.flame, "w", encoding="utf-8") as handle:
+                handle.write(stacks)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot write flamegraph stacks to {args.flame}: {reason}"
+            ) from exc
+        print(f"[flame] wrote {args.flame}", file=sys.stderr)
     print(render_hotspots(entries, top=args.top))
     return _report_faults(runner)
 
 
-def cmd_events(args: argparse.Namespace) -> int:
-    from .obs import read_events, render_events_summary, summarize_events
+def _read_event_stream(path: str):
+    from .obs import read_events
 
     try:
-        records = read_events(args.path)
+        return read_events(path)
     except OSError as exc:
         reason = exc.strerror or str(exc)
-        raise CliError(f"cannot read {args.path}: {reason}") from exc
+        raise CliError(f"cannot read {path}: {reason}") from exc
     except ValueError as exc:
-        raise CliError(f"{args.path}: {exc}") from exc
-    print(render_events_summary(summarize_events(records)))
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_events_summary, summarize_events
+
+    records = _read_event_stream(args.path)
+    summary = summarize_events(records)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(render_events_summary(summary))
+    return 0
+
+
+def cmd_events_to_trace(args: argparse.Namespace) -> int:
+    from .obs import trace_from_events, write_trace
+
+    records = _read_event_stream(args.path)
+    trace = trace_from_events(records)
+    try:
+        write_trace(args.out, trace)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise CliError(f"cannot write trace to {args.out}: {reason}") from exc
+    print(f"[trace] wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -770,6 +888,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the stage span tree and metrics to stderr")
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the metrics snapshot as JSON to PATH")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the stage span tree as a Chrome "
+                        "trace-event / Perfetto JSON timeline to PATH")
     p.add_argument("--profile-stage", action="append", metavar="STAGE",
                    help="cProfile a pipeline stage (e.g. pointsto, "
                         "detect); repeatable; report goes to stderr")
@@ -836,6 +957,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "spans nest under each app's root)")
         p.add_argument("--metrics-out", metavar="PATH",
                        help="write run + per-app metrics as JSON to PATH")
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write a Chrome trace-event / Perfetto JSON "
+                            "timeline of the run (one process lane per "
+                            "app) to PATH; open with ui.perfetto.dev or "
+                            "chrome://tracing")
+        p.add_argument("--serve-telemetry", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live run telemetry on "
+                            "http://127.0.0.1:PORT while the run lasts "
+                            "(/metrics Prometheus text, /healthz, "
+                            "/progress JSON); PORT 0 picks a free port, "
+                            "printed to stderr")
         p.add_argument("--events-out", metavar="PATH",
                        help="write the structured run event stream as "
                             "JSONL to PATH (flushed per event, so the "
@@ -958,6 +1091,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("datalog.rule", "datalog.stratum",
                             "pointsto.pair"),
                    help="restrict to one attribution domain")
+    p.add_argument("--flame", metavar="PATH",
+                   help="also write collapsed-stack lines (span "
+                        "self-time plus hotspot counters, flamegraph.pl "
+                        "/ speedscope input) to PATH")
     _add_runner_flags(p)
     p.set_defaults(fn=cmd_hotspots)
 
@@ -971,7 +1108,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run funnel and p50/p95/max per-app latency",
     )
     pp.add_argument("path", help="events JSONL file (from --events-out)")
+    pp.add_argument("--json", action="store_true",
+                    help="print the summary as JSON instead of the "
+                         "human-readable digest")
     pp.set_defaults(fn=cmd_events)
+    pp = events_sub.add_parser(
+        "to-trace",
+        help="convert an event stream into a Chrome trace-event / "
+             "Perfetto JSON timeline (real wall-clock lanes, one thread "
+             "per app)",
+    )
+    pp.add_argument("path", help="events JSONL file (from --events-out)")
+    pp.add_argument("out", help="trace JSON output path")
+    pp.set_defaults(fn=cmd_events_to_trace)
 
     p = sub.add_parser(
         "bench",
@@ -1069,6 +1218,9 @@ def main(argv: List[str] = None) -> int:
                 path = getattr(sink, "path", None)
                 if path:
                     print(f"[events] wrote {path}", file=sys.stderr)
+        server = getattr(args, "_telemetry_server", None)
+        if server is not None:
+            server.close()
 
 
 if __name__ == "__main__":

@@ -89,6 +89,14 @@ def load_history(directory: str) -> List[Tuple[str, Dict[str, Any]]]:
     ``ValueError`` on unreadable files or foreign schemas -- a history
     directory is a curated input, not a best-effort scan.
     """
+    if not os.path.isdir(directory):
+        # a missing directory is the most common first-use stumble;
+        # surface it as one clean line (exit 2 at the CLI), not an
+        # OSError repr or a traceback
+        raise ValueError(
+            f"bench trend: no such history directory {directory} "
+            f"(create one with `bench --history {directory}`)"
+        )
     try:
         entries = sorted(os.listdir(directory))
     except OSError as exc:

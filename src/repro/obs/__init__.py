@@ -55,6 +55,7 @@ from .hotspots import (
 from .events import (
     EVENTS_SCHEMA,
     JsonlEventSink,
+    MemoryEventSink,
     ProgressSink,
     read_events,
     render_events_summary,
@@ -62,10 +63,20 @@ from .events import (
     summarize_events,
 )
 from .memory import MemoryTracker, track_memory
+from .exporters import (
+    chrome_trace,
+    collapsed_stacks,
+    prometheus_text,
+    trace_from_events,
+    write_trace,
+)
+from .telemetry import LiveAggregator, TelemetryServer
 
 __all__ = [
     "add",
     "add_gauge",
+    "chrome_trace",
+    "collapsed_stacks",
     "collect_hotspots",
     "current",
     "describe_run",
@@ -73,11 +84,14 @@ __all__ = [
     "HOTSPOT_PREFIX",
     "HotspotEntry",
     "JsonlEventSink",
+    "LiveAggregator",
+    "MemoryEventSink",
     "MemoryTracker",
     "merge_snapshots",
     "MetricsSnapshot",
     "PEAK_GAUGE_PATTERN",
     "ProgressSink",
+    "prometheus_text",
     "read_events",
     "Recorder",
     "render_events_summary",
@@ -90,8 +104,11 @@ __all__ = [
     "span",
     "snapshot_to_json",
     "summarize_events",
+    "TelemetryServer",
     "top_hotspots",
+    "trace_from_events",
     "track_memory",
     "use",
     "write_json",
+    "write_trace",
 ]

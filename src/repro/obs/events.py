@@ -77,6 +77,22 @@ class JsonlEventSink:
             self._handle = None
 
 
+class MemoryEventSink:
+    """Retain the event records in memory, in emission order.
+
+    Attached automatically when a driver needs the stream after the run
+    without forcing a ``--events-out`` file -- e.g. ``--trace-out``
+    turns the retained records into instant events on the Chrome trace
+    timeline.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(dict(record))
+
+
 class ProgressSink:
     """The opt-in ``--progress`` stderr line, derived from the stream.
 

@@ -81,9 +81,21 @@ def describe_run(snapshot: MetricsSnapshot) -> str:
     faulted = counters.get("runner.apps.faulted", 0)
     if faulted:
         line += f"; {faulted} faulted"
-        timeouts = counters.get("runner.timeouts", 0)
-        if timeouts:
-            line += f" ({timeouts} timed out)"
+        # break the faults down by taxonomy kind when the run recorded
+        # them, so a [fault]-bearing run summarizes honestly in one line
+        kinds = {
+            name[len("runner.faults."):]: value
+            for name, value in counters.items()
+            if name.startswith("runner.faults.") and value
+        }
+        if kinds:
+            line += " (" + ", ".join(
+                f"{kind}={kinds[kind]}" for kind in sorted(kinds)
+            ) + ")"
+        else:
+            timeouts = counters.get("runner.timeouts", 0)
+            if timeouts:
+                line += f" ({timeouts} timed out)"
     retries = counters.get("runner.retries", 0)
     if retries:
         line += f"; {retries} retr{'ies' if retries != 1 else 'y'}"

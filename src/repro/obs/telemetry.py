@@ -1,0 +1,274 @@
+"""Live telemetry for long runs: ``--serve-telemetry PORT``.
+
+A 1000-app generated-corpus run (or a future ``repro serve`` daemon) is
+minutes of silence unless something exposes its state *while it runs*.
+This module provides that surface with the stdlib only:
+
+* :class:`LiveAggregator` -- a thread-safe sink the corpus runner feeds
+  as each app starts/finishes.  It maintains the run funnel (done /
+  total, analyzed / cached / faulted, retries), per-app latency
+  quantiles, and a merged :class:`~repro.obs.metrics.MetricsSnapshot`
+  of every finished app's counters and gauges (span trees are *not*
+  retained -- the aggregator is O(metrics), not O(run)).
+* :class:`TelemetryServer` -- a background ``http.server`` thread bound
+  to **127.0.0.1 only** (the endpoint is an operator surface, never a
+  public one) serving:
+
+  - ``/metrics``  -- Prometheus text exposition of the aggregate
+    (via :func:`repro.obs.exporters.prometheus_text`),
+  - ``/healthz``  -- liveness (``ok``),
+  - ``/progress`` -- JSON: apps done/total, faults, retries, p50/p95
+    latency so far, the current phase.
+
+Determinism contract: the aggregator only *observes* -- it never writes
+to stdout, never touches analysis state, and the runner's results,
+reports and bench counters are byte-identical with and without it
+attached (pinned by ``tests/obs/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from .events import percentile
+from .exporters import prometheus_text
+from .metrics import merge_snapshots, MetricsSnapshot
+
+#: the only address the telemetry endpoint ever binds; serving run
+#: internals beyond loopback is an operator decision this module
+#: deliberately does not offer
+TELEMETRY_HOST = "127.0.0.1"
+
+
+class LiveAggregator:
+    """Thread-safe run aggregation behind the telemetry endpoint.
+
+    The runner thread calls the ``run_*``/``app_*`` hooks; HTTP handler
+    threads call :meth:`progress`, :meth:`prometheus`, and
+    :meth:`healthy` concurrently.  All state lives behind one lock.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started_at = clock()
+        #: explicit driver-level label (set_phase) -- wins over the kind
+        self._phase: Optional[str] = None
+        #: the task kind of the current run (run_started)
+        self._kind = "idle"
+        self._runs = 0
+        self._total = 0
+        self._done = 0
+        self._statuses: Dict[str, int] = {
+            "analyzed": 0, "cached": 0, "faulted": 0,
+        }
+        self._retries = 0
+        self._active: List[str] = []
+        self._durations: List[float] = []
+        self._merged = MetricsSnapshot()
+
+    # -- runner-side hooks ----------------------------------------------------
+
+    def run_started(self, kind: str, apps: int) -> None:
+        with self._lock:
+            self._runs += 1
+            self._total += int(apps)
+            self._kind = kind
+
+    def set_phase(self, phase: str) -> None:
+        """Name the current stage of a multi-run driver (e.g. a bench
+        that fans out twice); surfaced in ``/progress``."""
+        with self._lock:
+            self._phase = str(phase)
+
+    def app_started(self, name: str) -> None:
+        with self._lock:
+            if name not in self._active:
+                self._active.append(name)
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def app_finished(self, name: str, status: str,
+                     duration_s: Optional[float] = None,
+                     snapshot: Optional[MetricsSnapshot] = None) -> None:
+        with self._lock:
+            self._done += 1
+            self._statuses[status] = self._statuses.get(status, 0) + 1
+            if name in self._active:
+                self._active.remove(name)
+            if duration_s is not None:
+                self._durations.append(float(duration_s))
+            if snapshot is not None:
+                # merge counters/gauges only: spans would make the
+                # aggregator's footprint proportional to the run
+                self._merged = merge_snapshots([
+                    self._merged,
+                    MetricsSnapshot(counters=snapshot.counters,
+                                    gauges=snapshot.gauges),
+                ])
+
+    def run_finished(self, run_snapshot: Optional[MetricsSnapshot] = None) \
+            -> None:
+        """Close one run; ``run_snapshot`` (the runner's fan-out/cache
+        counters) joins the aggregate so ``/metrics`` exposes the
+        ``runner.*`` family too."""
+        with self._lock:
+            if run_snapshot is not None:
+                self._merged = merge_snapshots([
+                    self._merged,
+                    MetricsSnapshot(counters=run_snapshot.counters,
+                                    gauges=run_snapshot.gauges),
+                ])
+            self._kind = "idle"
+
+    # -- reader side ----------------------------------------------------------
+
+    def healthy(self) -> bool:
+        return True
+
+    def progress(self) -> Dict[str, Any]:
+        """The ``/progress`` JSON payload."""
+        with self._lock:
+            latency = None
+            if self._durations:
+                latency = {
+                    "apps": len(self._durations),
+                    "p50_s": percentile(self._durations, 0.50),
+                    "p95_s": percentile(self._durations, 0.95),
+                    "max_s": max(self._durations),
+                }
+            return {
+                "phase": self._phase or self._kind,
+                "kind": self._kind,
+                "runs": self._runs,
+                "apps": {
+                    "total": self._total,
+                    "done": self._done,
+                    "analyzed": self._statuses.get("analyzed", 0),
+                    "cached": self._statuses.get("cached", 0),
+                    "faulted": self._statuses.get("faulted", 0),
+                },
+                "active": list(self._active),
+                "retries": self._retries,
+                "latency": latency,
+                "uptime_s": round(self._clock() - self._started_at, 6),
+            }
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The merged metrics plus the aggregator's own ``telemetry.*``
+        funnel counters/gauges, as one snapshot."""
+        with self._lock:
+            counters = dict(self._merged.counters)
+            gauges = dict(self._merged.gauges)
+            counters["telemetry.runs"] = self._runs
+            counters["telemetry.apps.total"] = self._total
+            counters["telemetry.apps.done"] = self._done
+            for status in sorted(self._statuses):
+                counters[f"telemetry.apps.{status}"] = \
+                    self._statuses[status]
+            counters["telemetry.retries"] = self._retries
+            gauges["telemetry.apps.active"] = float(len(self._active))
+            gauges["telemetry.uptime_seconds"] = \
+                self._clock() - self._started_at
+            if self._durations:
+                gauges["telemetry.latency.p50_seconds"] = \
+                    percentile(self._durations, 0.50)
+                gauges["telemetry.latency.p95_seconds"] = \
+                    percentile(self._durations, 0.95)
+                gauges["telemetry.latency.max_seconds"] = \
+                    max(self._durations)
+            return MetricsSnapshot(counters=counters, gauges=gauges)
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` body: Prometheus text of the aggregate."""
+        return prometheus_text(self.snapshot())
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes GETs to the aggregator; silent (no stderr access logs)."""
+
+    server_version = "nadroid-telemetry"
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        aggregator = self.server.aggregator  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                       aggregator.prometheus())
+        elif path == "/healthz":
+            status = 200 if aggregator.healthy() else 503
+            self._send(status, "text/plain; charset=utf-8",
+                       "ok\n" if status == 200 else "unhealthy\n")
+        elif path == "/progress":
+            body = json.dumps(aggregator.progress(), sort_keys=True,
+                              indent=2) + "\n"
+            self._send(200, "application/json; charset=utf-8", body)
+        else:
+            self._send(404, "text/plain; charset=utf-8", "not found\n")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppressed: request logs would race the run's own stderr."""
+
+
+class TelemetryServer:
+    """The background HTTP thread serving one :class:`LiveAggregator`.
+
+    Binds ``127.0.0.1`` only; ``port=0`` asks the OS for a free port
+    (read the real one from :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, aggregator: LiveAggregator, port: int = 0) -> None:
+        self.aggregator = aggregator
+        self.requested_port = int(port)
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._server.server_address[1] if self._server else None
+
+    @property
+    def url(self) -> Optional[str]:
+        if self._server is None:
+            return None
+        return f"http://{TELEMETRY_HOST}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; raises ``OSError`` when the
+        port is taken."""
+        server = ThreadingHTTPServer(
+            (TELEMETRY_HOST, self.requested_port), _Handler
+        )
+        server.daemon_threads = True
+        server.aggregator = self.aggregator  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="nadroid-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

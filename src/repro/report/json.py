@@ -49,7 +49,7 @@ def _app_to_dict(name: str, app: AppReport) -> Dict[str, Any]:
 
 
 def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
-    return {
+    out: Dict[str, Any] = {
         "schema": report.schema,
         "version": report.version,
         "apps": {
@@ -57,6 +57,13 @@ def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
             for name, app in sorted(report.apps.items())
         },
     }
+    # Artifact pointers appear only when the run wrote sibling files
+    # (--trace-out / --events-out), keeping plain reports byte-identical.
+    if report.artifacts:
+        out["artifacts"] = {
+            key: report.artifacts[key] for key in sorted(report.artifacts)
+        }
+    return out
 
 
 def report_from_dict(payload: Dict[str, Any]) -> AnalysisReport:
@@ -78,6 +85,7 @@ def report_from_dict(payload: Dict[str, Any]) -> AnalysisReport:
         for name, app in payload.get("apps", {}).items()
     ])
     report.version = payload.get("version", report.version)
+    report.artifacts = dict(payload.get("artifacts", {}))
     return report
 
 

@@ -91,6 +91,11 @@ class AnalysisReport:
     apps: Dict[str, AppReport] = field(default_factory=dict)
     schema: int = REPORT_SCHEMA
     version: str = __version__
+    #: pointers to sibling run artifacts written alongside this report
+    #: (``{"trace": <chrome trace path>, "events": <jsonl path>}``);
+    #: additive -- serialized only when non-empty, so reports from runs
+    #: without ``--trace-out``/``--events-out`` stay byte-identical
+    artifacts: Dict[str, str] = field(default_factory=dict)
 
     def warning_statuses(self) -> Dict[str, str]:
         """``warning_id -> status`` over the whole run (the diff's view)."""

@@ -55,7 +55,13 @@ from .faultinject import (
     install,
     maybe_fault,
 )
-from .pool import FaultPolicy, PoolOutcome, run_tasks
+from .pool import (
+    compose_observers,
+    FaultPolicy,
+    Observer,
+    PoolOutcome,
+    run_tasks,
+)
 
 _CURRENT_APP: ContextVar[Optional[str]] = ContextVar(
     "nadroid-current-app", default=None
@@ -132,6 +138,8 @@ __all__ = [
     "fault_from_exception",
     "install",
     "maybe_fault",
+    "compose_observers",
+    "Observer",
     "run_tasks",
     "task_scope",
     "timeout_fault",

@@ -28,9 +28,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import merge_snapshots, MetricsSnapshot, Recorder, RunEventLog
 from ..obs import span as obs_span, track_memory, use as obs_use
+from ..obs.telemetry import LiveAggregator
 from ..resilience import (
     active_plan,
     checkpoint,
+    compose_observers,
     Fault,
     FaultPolicy,
     run_tasks,
@@ -152,6 +154,14 @@ def _envelope_duration(envelope: Dict[str, Any]) -> Optional[float]:
     return float(duration) if duration is not None else None
 
 
+def _envelope_snapshot(envelope: Dict[str, Any]) -> Optional[MetricsSnapshot]:
+    """The metrics snapshot an envelope carried back, if any."""
+    obs = envelope.get("obs")
+    if not isinstance(obs, dict):
+        return None
+    return MetricsSnapshot.from_dict(obs)
+
+
 def _source_for(kind: str, app_name: str, params: Dict[str, Any]) -> str:
     """The source text whose content addresses this task's cache entry."""
     if kind == "table2":
@@ -269,18 +279,26 @@ class CorpusRunner:
     lifecycle, run-end) flushed in input-app order.  ``memory=True``
     turns on tracemalloc peak gauges in every worker; it joins the cache
     fingerprint, so instrumented and plain runs never share entries.
+
+    ``telemetry`` attaches a :class:`repro.obs.LiveAggregator`: the
+    runner feeds it each app's outcome (and metrics snapshot) the moment
+    it lands, which is what the ``--serve-telemetry`` endpoint reads
+    mid-run.  The aggregator is a pure observer -- results, reports and
+    bench counters are byte-identical with and without it.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  policy: Optional[FaultPolicy] = None,
                  events: Optional[RunEventLog] = None,
-                 memory: bool = False) -> None:
+                 memory: bool = False,
+                 telemetry: Optional[LiveAggregator] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.policy = policy or FaultPolicy()
         self.events = events
         self.memory = bool(memory)
+        self.telemetry = telemetry
         self.last_stats: Optional[RunStats] = None
         self.last_metrics: Optional[RunMetrics] = None
         self.last_faults: List[Fault] = []
@@ -324,8 +342,11 @@ class CorpusRunner:
         )
 
         events = self.events
+        telemetry = self.telemetry
         if events is not None:
             events.run_start(kind, app_names)
+        if telemetry is not None:
+            telemetry.run_started(kind, len(dict.fromkeys(app_names)))
 
         envelopes: Dict[str, Dict[str, Any]] = {}
         keys: Dict[str, str] = {}
@@ -345,12 +366,18 @@ class CorpusRunner:
                         events.app_event(name, "cache-hit")
                         events.app_done(name, "cached",
                                         _envelope_duration(hit))
+                    if telemetry is not None:
+                        telemetry.app_finished(
+                            name, "cached", _envelope_duration(hit),
+                            _envelope_snapshot(hit),
+                        )
                     continue
             pending.append(name)
 
-        observer = None
+        events_observer = None
         if events is not None:
-            def observer(event: str, name: str, payload: Any) -> None:
+            def events_observer(event: str, name: str,
+                                payload: Any) -> None:
                 if event == "start":
                     events.app_event(name, "app-start")
                 elif event == "retry":
@@ -365,6 +392,24 @@ class CorpusRunner:
                 elif event == "ok":
                     events.app_done(name, "analyzed",
                                     _envelope_duration(payload))
+
+        telemetry_observer = None
+        if telemetry is not None:
+            def telemetry_observer(event: str, name: str,
+                                   payload: Any) -> None:
+                if event == "start":
+                    telemetry.app_started(name)
+                elif event == "retry":
+                    telemetry.record_retry()
+                elif event == "fault":
+                    telemetry.app_finished(name, "faulted")
+                elif event == "ok":
+                    telemetry.app_finished(
+                        name, "analyzed", _envelope_duration(payload),
+                        _envelope_snapshot(payload),
+                    )
+
+        observer = compose_observers([events_observer, telemetry_observer])
 
         retries = 0
         faults: Dict[str, Fault] = {}
@@ -405,6 +450,8 @@ class CorpusRunner:
                 faulted=stats.faulted,
                 wall_seconds=round(stats.wall_seconds, 6),
             )
+        if telemetry is not None:
+            telemetry.run_finished(stats.to_snapshot())
         self.last_stats = stats
         self.last_faults = [faults[name] for name in app_names
                             if name in faults]

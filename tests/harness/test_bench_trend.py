@@ -251,3 +251,23 @@ def test_cli_bench_trend_rejects_bad_flags(tmp_path, capsys):
     assert main(["bench", "trend", str(tmp_path),
                  "--time-tolerance", "-0.5"]) == 2
     assert "--time-tolerance" in capsys.readouterr().err
+
+
+def test_cli_bench_trend_missing_directory_is_one_clean_line(tmp_path,
+                                                             capsys):
+    missing = str(tmp_path / "nope")
+    assert main(["bench", "trend", missing]) == 2
+    err = capsys.readouterr().err
+    assert err == (
+        f"nadroid: error: bench trend: no such history directory "
+        f"{missing} (create one with `bench --history {missing}`)\n"
+    )
+
+
+def test_cli_bench_trend_empty_directory_exits_2(tmp_path, capsys):
+    empty = tmp_path / "hist"
+    empty.mkdir()
+    assert main(["bench", "trend", str(empty)]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # one line, no traceback
+    assert "no BENCH_*.json runs" in err

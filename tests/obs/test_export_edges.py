@@ -43,3 +43,27 @@ def test_describe_run_with_gauges_but_no_counters():
 def test_describe_run_empty_snapshot():
     line = describe_run(MetricsSnapshot(counters={}, gauges={}, spans=[]))
     assert line == "0 apps (0 analyzed, 0 from cache) in 0.00s with 1 job"
+
+
+def test_describe_run_breaks_faults_down_by_kind():
+    snapshot = MetricsSnapshot(
+        counters={"runner.apps.analyzed": 3, "runner.apps.faulted": 2,
+                  "runner.faults.timeout": 1, "runner.faults.crash": 1,
+                  "runner.retries": 1},
+        gauges={"runner.jobs": 2.0, "runner.wall_seconds": 1.0},
+        spans=[],
+    )
+    line = describe_run(snapshot)
+    assert "2 faulted (crash=1, timeout=1)" in line
+    assert "1 retry" in line
+
+
+def test_describe_run_falls_back_to_timeout_count():
+    # payloads from before per-kind fault counters existed
+    snapshot = MetricsSnapshot(
+        counters={"runner.apps.analyzed": 1, "runner.apps.faulted": 1,
+                  "runner.timeouts": 1},
+        gauges={"runner.jobs": 1.0, "runner.wall_seconds": 0.5},
+        spans=[],
+    )
+    assert "1 faulted (1 timed out)" in describe_run(snapshot)

@@ -1,0 +1,231 @@
+"""Tests for repro.obs.telemetry (ISSUE 8): the live run aggregator and
+the 127.0.0.1-only ``--serve-telemetry`` HTTP endpoint.
+
+The load-bearing property is the determinism contract: attaching the
+aggregator to a run must leave results, reports and bench counters
+byte-identical -- the endpoint observes, it never participates.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    LiveAggregator,
+    MetricsSnapshot,
+    prometheus_text,
+)
+from repro.obs.telemetry import TELEMETRY_HOST, TelemetryServer
+from repro.runner import CorpusRunner
+
+SUBSET = ["todolist", "swiftnotes", "clipstack"]
+
+
+# -- LiveAggregator -----------------------------------------------------------
+
+
+def test_aggregator_starts_idle():
+    agg = LiveAggregator()
+    progress = agg.progress()
+    assert progress["phase"] == "idle"
+    assert progress["apps"] == {"total": 0, "done": 0, "analyzed": 0,
+                                "cached": 0, "faulted": 0}
+    assert progress["latency"] is None
+    assert agg.healthy()
+
+
+def test_aggregator_tracks_the_run_funnel():
+    agg = LiveAggregator(clock=lambda: 0.0)
+    agg.run_started("timing", 3)
+    agg.app_started("a")
+    agg.app_started("b")
+    assert agg.progress()["active"] == ["a", "b"]
+    agg.record_retry()
+    agg.app_finished("a", "analyzed", duration_s=0.2)
+    agg.app_finished("b", "cached", duration_s=0.1)
+    agg.app_finished("c", "faulted")
+    progress = agg.progress()
+    assert progress["phase"] == "timing"
+    assert progress["apps"] == {"total": 3, "done": 3, "analyzed": 1,
+                                "cached": 1, "faulted": 1}
+    assert progress["active"] == []
+    assert progress["retries"] == 1
+    assert progress["latency"]["apps"] == 2
+    assert progress["latency"]["max_s"] == 0.2
+    agg.run_finished()
+    assert agg.progress()["phase"] == "idle"
+
+
+def test_aggregator_explicit_phase_wins_over_kind():
+    agg = LiveAggregator()
+    agg.set_phase("bench:generated:50")
+    agg.run_started("gen-timing", 50)
+    progress = agg.progress()
+    assert progress["phase"] == "bench:generated:50"
+    assert progress["kind"] == "gen-timing"
+
+
+def test_aggregator_merges_finished_snapshots():
+    agg = LiveAggregator()
+    agg.run_started("timing", 2)
+    agg.app_finished("a", "analyzed", snapshot=MetricsSnapshot(
+        counters={"datalog.passes": 2},
+        gauges={"mem.app.peak_kb": 10.0},
+    ))
+    agg.app_finished("b", "analyzed", snapshot=MetricsSnapshot(
+        counters={"datalog.passes": 3},
+        gauges={"mem.app.peak_kb": 30.0},
+    ))
+    agg.run_finished(MetricsSnapshot(counters={"runner.apps.analyzed": 2}))
+    snapshot = agg.snapshot()
+    assert snapshot.counters["datalog.passes"] == 5
+    assert snapshot.counters["runner.apps.analyzed"] == 2
+    # peak gauges merge max-wins
+    assert snapshot.gauges["mem.app.peak_kb"] == 30.0
+    # the aggregator's own funnel rides along
+    assert snapshot.counters["telemetry.apps.done"] == 2
+    assert snapshot.counters["telemetry.runs"] == 1
+    # spans are never retained
+    assert snapshot.spans == []
+
+
+def test_aggregator_prometheus_is_valid_exposition():
+    agg = LiveAggregator(clock=lambda: 0.0)  # pin the uptime gauge
+    agg.run_started("timing", 1)
+    agg.app_finished("a", "analyzed",
+                     snapshot=MetricsSnapshot(counters={"x.y": 1}))
+    text = agg.prometheus()
+    assert "# TYPE nadroid_x_y_total counter" in text
+    assert "nadroid_telemetry_apps_done_total 1" in text
+    assert text == prometheus_text(agg.snapshot())
+
+
+# -- TelemetryServer ----------------------------------------------------------
+
+
+@pytest.fixture()
+def server():
+    agg = LiveAggregator()
+    srv = TelemetryServer(agg, port=0).start()
+    yield srv
+    srv.close()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}") as response:
+        return response.status, dict(response.headers), \
+            response.read().decode("utf-8")
+
+
+def test_server_binds_loopback_ephemeral_port(server):
+    assert server.port and server.port > 0
+    assert server.url == f"http://{TELEMETRY_HOST}:{server.port}"
+    assert TELEMETRY_HOST == "127.0.0.1"
+
+
+def test_server_serves_healthz(server):
+    status, _, body = _get(server, "/healthz")
+    assert status == 200
+    assert body == "ok\n"
+
+
+def test_server_serves_metrics(server):
+    server.aggregator.run_started("timing", 2)
+    server.aggregator.app_finished("a", "analyzed")
+    status, headers, body = _get(server, "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    assert "nadroid_telemetry_apps_done_total 1" in body
+    assert "nadroid_telemetry_apps_total_total 2" in body
+
+
+def test_server_serves_progress_json(server):
+    server.aggregator.run_started("table1", 5)
+    status, headers, body = _get(server, "/progress")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    progress = json.loads(body)
+    assert progress["phase"] == "table1"
+    assert progress["apps"]["total"] == 5
+
+
+def test_server_404_on_unknown_path(server):
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _get(server, "/nope")
+    assert exc.value.code == 404
+
+
+def test_server_close_is_idempotent():
+    srv = TelemetryServer(LiveAggregator(), port=0).start()
+    srv.close()
+    srv.close()
+    assert srv.port is None
+
+
+# -- runner integration and the determinism contract --------------------------
+
+
+def test_runner_feeds_the_aggregator():
+    agg = LiveAggregator()
+    runner = CorpusRunner(jobs=1, telemetry=agg)
+    runner.run("timing", SUBSET, {})
+    progress = agg.progress()
+    assert progress["apps"]["total"] == len(SUBSET)
+    assert progress["apps"]["done"] == len(SUBSET)
+    assert progress["apps"]["analyzed"] == len(SUBSET)
+    assert progress["active"] == []
+    assert progress["phase"] == "idle"  # run closed
+    assert progress["latency"]["apps"] == len(SUBSET)
+    snapshot = agg.snapshot()
+    # the per-app analysis counters merged in
+    assert snapshot.counters["datalog.passes"] > 0
+    # the runner's own fan-out counters joined at run_finished
+    assert snapshot.counters["runner.apps.analyzed"] == len(SUBSET)
+
+
+def test_runner_reports_cache_hits_to_the_aggregator(tmp_path):
+    from repro.runner import ResultCache
+
+    CorpusRunner(cache=ResultCache(tmp_path)).run("timing", SUBSET, {})
+    agg = LiveAggregator()
+    warm = CorpusRunner(cache=ResultCache(tmp_path), telemetry=agg)
+    warm.run("timing", SUBSET, {})
+    progress = agg.progress()
+    assert progress["apps"]["cached"] == len(SUBSET)
+    # replayed envelopes still carry their recorded metrics
+    assert agg.snapshot().counters["datalog.passes"] > 0
+
+
+def _run_payloads(telemetry, jobs):
+    runner = CorpusRunner(jobs=jobs, telemetry=telemetry)
+    payloads, _ = runner.run("table1", SUBSET, {})
+    # drop the wall-clock fields (nested per-stage timings); everything
+    # else is analysis output and must come out byte-identical
+    def strip(value):
+        if isinstance(value, dict):
+            return {key: strip(inner) for key, inner in value.items()
+                    if key != "timings"}
+        if isinstance(value, list):
+            return [strip(inner) for inner in value]
+        return value
+
+    payloads = [strip(payload) for payload in payloads]
+    counters = {
+        name: dict(snapshot.counters)
+        for name, snapshot in runner.last_metrics.apps.items()
+    }
+    return payloads, counters
+
+
+def test_telemetry_does_not_perturb_results_or_counters():
+    """The determinism contract: byte-identical payloads and identical
+    per-app counters with and without the aggregator, serial and
+    parallel."""
+    base_payloads, base_counters = _run_payloads(None, 1)
+    for telemetry, jobs in ((LiveAggregator(), 1), (None, 4),
+                            (LiveAggregator(), 4)):
+        payloads, counters = _run_payloads(telemetry, jobs)
+        assert json.dumps(payloads, sort_keys=True) == \
+            json.dumps(base_payloads, sort_keys=True)
+        assert counters == base_counters

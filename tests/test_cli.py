@@ -440,3 +440,156 @@ def test_corpus_memory_gauges_reach_metrics_out(tmp_path, capsys):
     gauges = payload["apps"]["todolist"]["gauges"]
     assert gauges["mem.app.peak_kb"] > 0
     assert gauges["mem.stage.lowering.peak_kb"] > 0
+
+
+# -- ISSUE 8: exporters and live telemetry ------------------------------------
+
+
+def test_corpus_trace_out_writes_perfetto_json(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    events = tmp_path / "events.jsonl"
+    code = main(["corpus", "--apps", "todolist", "swiftnotes",
+                 "--no-cache", "--trace-out", str(trace),
+                 "--events-out", str(events)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"[trace] wrote {trace}" in captured.err
+    payload = json.loads(trace.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    names = {e["args"]["name"] for e in payload["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    # one process lane per app, plus the event-stream lane
+    assert {"run", "app:todolist", "app:swiftnotes"} <= names
+    assert any(e["ph"] == "X" for e in payload["traceEvents"])
+    assert any(e["ph"] == "i" for e in payload["traceEvents"])
+
+
+def test_analyze_trace_out(app_file, tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    main(["analyze", app_file, "--trace-out", str(trace)])
+    assert f"[trace] wrote {trace}" in capsys.readouterr().err
+    payload = json.loads(trace.read_text())
+    spans = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert "lowering" in spans and "detection" in spans
+
+
+def test_hotspots_flame_out(tmp_path, capsys):
+    flame = tmp_path / "stacks.txt"
+    code = main(["hotspots", "--apps", "todolist", "--no-cache",
+                 "--flame", str(flame)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"[flame] wrote {flame}" in captured.err
+    lines = flame.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        frames, value = line.rsplit(" ", 1)
+        assert frames and int(value) > 0
+
+
+def test_events_summarize_json(tmp_path, capsys):
+    import json
+
+    events = tmp_path / "events.jsonl"
+    assert main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--events-out", str(events)]) == 0
+    capsys.readouterr()
+    assert main(["events", "summarize", str(events), "--json"]) == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out)
+    assert summary["apps"] == 1
+    assert summary["analyzed"] == 1
+    assert summary["latency"]["apps"] == 1
+
+
+def test_events_to_trace(tmp_path, capsys):
+    import json
+
+    events = tmp_path / "events.jsonl"
+    trace = tmp_path / "trace.json"
+    assert main(["corpus", "--apps", "todolist", "swiftnotes",
+                 "--jobs", "2", "--no-cache",
+                 "--events-out", str(events)]) == 0
+    capsys.readouterr()
+    assert main(["events", "to-trace", str(events), str(trace)]) == 0
+    assert f"[trace] wrote {trace}" in capsys.readouterr().err
+    payload = json.loads(trace.read_text())
+    complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"todolist", "swiftnotes"}
+    assert all(e["args"]["status"] == "analyzed" for e in complete)
+
+
+def test_report_artifact_pointers(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "report.json"
+    trace = tmp_path / "trace.json"
+    events = tmp_path / "events.jsonl"
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--report-out", str(report), "--trace-out", str(trace),
+                 "--events-out", str(events)])
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(report.read_text())
+    assert payload["artifacts"] == {"trace": str(trace),
+                                    "events": str(events)}
+    # without the flags the key is absent, keeping goldens byte-stable
+    assert main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--report-out", str(report)]) == 0
+    capsys.readouterr()
+    assert "artifacts" not in json.loads(report.read_text())
+
+
+def test_corpus_serve_telemetry_live_endpoint(monkeypatch, capsys):
+    """Probe /metrics, /healthz and /progress while the run is still
+    inside main() (hooked at run_finished, before the server closes)."""
+    import json
+    import urllib.request
+
+    from repro.obs import telemetry as tel
+
+    started = []
+    orig_start = tel.TelemetryServer.start
+
+    def start(self):
+        started.append(self)
+        return orig_start(self)
+
+    probes = {}
+    orig_finished = tel.LiveAggregator.run_finished
+
+    def run_finished(self, run_snapshot=None):
+        server = started[0]
+        for path in ("metrics", "healthz", "progress"):
+            with urllib.request.urlopen(f"{server.url}/{path}") as resp:
+                probes[path] = (resp.status, resp.read().decode("utf-8"))
+        return orig_finished(self, run_snapshot)
+
+    monkeypatch.setattr(tel.TelemetryServer, "start", start)
+    monkeypatch.setattr(tel.LiveAggregator, "run_finished", run_finished)
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--serve-telemetry", "0"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "[telemetry] serving on http://127.0.0.1:" in captured.err
+    assert probes["healthz"] == (200, "ok\n")
+    status, metrics = probes["metrics"]
+    assert status == 200
+    assert "nadroid_telemetry_apps_done_total 1" in metrics
+    assert "# TYPE nadroid_datalog_passes_total counter" in metrics
+    progress = json.loads(probes["progress"][1])
+    assert progress["apps"] == {"total": 1, "done": 1, "analyzed": 1,
+                                "cached": 0, "faulted": 0}
+    # the server is gone once main() returns
+    assert started[0].port is None
+
+
+def test_serve_telemetry_rejects_bad_port(capsys):
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--serve-telemetry", "70000"])
+    assert code == 2
+    assert "--serve-telemetry" in capsys.readouterr().err
