@@ -26,6 +26,8 @@ Subcommands:
   seeded generated corpus instead of the registry apps;
   ``--history DIR`` appends the run to a history directory and
   ``bench trend DIR`` charts it, exiting 4 on monotone drift
+* ``serve``            -- long-running analysis daemon: JSON job API +
+  telemetry on one loopback port (``docs/service.md``)
 * ``cache prune``      -- sweep quarantined (or all) result-cache entries
 
 Observability (``docs/observability.md``): every corpus subcommand and
@@ -167,7 +169,8 @@ def _make_telemetry(args: argparse.Namespace):
             f"cannot serve telemetry on port {port}: {reason}"
         ) from exc
     args._telemetry_server = server
-    print(f"[telemetry] serving on {server.url} "
+    # machine-readable: scripts parse host:port out of "listening on"
+    print(f"[telemetry] listening on 127.0.0.1:{server.port} "
           f"(/metrics /healthz /progress)", file=sys.stderr, flush=True)
     return aggregator
 
@@ -198,6 +201,9 @@ def _report_stats(runner) -> None:
 
 #: exit code for "the run completed, but some apps faulted" (--keep-going)
 EXIT_FAULTS = 3
+
+#: exit code for "interrupted by Ctrl-C" (128 + SIGINT, the shell idiom)
+EXIT_INTERRUPTED = 130
 
 
 def _report_faults(runner) -> int:
@@ -289,17 +295,17 @@ def _emit_report_outputs(args, report) -> None:
 
 
 def _single_app_report(args, result, recorder):
-    """The one-app AnalysisReport behind analyze/explain outputs."""
-    from .report import build_app_report, build_report
+    """The one-app AnalysisReport behind analyze/explain outputs.
 
-    return build_report([
-        build_app_report(
-            "app",
-            result,
-            source=args.files[0],
-            metrics=recorder.snapshot() if recorder is not None else None,
-        )
-    ])
+    Delegates to the job layer's projection so the ``repro serve``
+    daemon and the CLI cannot drift apart byte-wise."""
+    from .service.jobs import single_app_report
+
+    return single_app_report(
+        result,
+        source=args.files[0],
+        metrics=recorder.snapshot() if recorder is not None else None,
+    )
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -841,6 +847,69 @@ def cmd_bench_trend(args: argparse.Namespace) -> int:
     return EXIT_BENCH_REGRESSION if drifts else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon (docs/service.md) until interrupted."""
+    from .obs import LiveAggregator
+    from .resilience import FaultPolicy
+    from .runner import default_cache_dir, ResultCache
+    from .service import AnalysisService, DEFAULT_QUEUE_LIMIT, ServiceServer
+
+    if not 0 <= args.port <= 65535:
+        raise CliError("--port must be a port number (0-65535; 0 picks "
+                       "a free port)")
+    if args.jobs < 1:
+        raise CliError("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        raise CliError("--timeout must be a positive number of seconds")
+    if args.max_retries < 0:
+        raise CliError("--max-retries must be >= 0")
+    queue_limit = args.queue_limit if args.queue_limit is not None \
+        else DEFAULT_QUEUE_LIMIT
+    if queue_limit < 1:
+        raise CliError("--queue-limit must be >= 1")
+    cache = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir \
+            else default_cache_dir()
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise CliError(
+                f"cannot use cache directory {cache_dir}: {reason}"
+            ) from exc
+        cache = ResultCache(cache_dir)
+    aggregator = LiveAggregator()
+    service = AnalysisService(
+        jobs=args.jobs,
+        cache=cache,
+        policy=FaultPolicy(timeout=args.timeout,
+                           max_retries=args.max_retries,
+                           keep_going=True),
+        telemetry=aggregator,
+        queue_limit=queue_limit,
+    )
+    server = ServiceServer(service, aggregator=aggregator, port=args.port)
+    try:
+        server.bind()
+    except OSError as exc:
+        reason = getattr(exc, "strerror", None) or str(exc)
+        raise CliError(
+            f"cannot serve on port {args.port}: {reason}"
+        ) from exc
+    # machine-readable: scripts parse host:port out of "listening on"
+    print(f"[serve] listening on 127.0.0.1:{server.port} "
+          f"(POST /v1/analyze /v1/batch; GET /v1/jobs "
+          f"/metrics /healthz /progress)", file=sys.stderr, flush=True)
+    try:
+        # foreground, so SIGINT lands here as KeyboardInterrupt and
+        # main() turns it into exit 130
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .runner import default_cache_dir, ResultCache
 
@@ -1172,6 +1241,34 @@ def build_parser() -> argparse.ArgumentParser:
                          "drift (default 0.25 = 25%%)")
     pp.set_defaults(fn=cmd_bench_trend)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the analysis daemon: accept jobs over loopback HTTP "
+             "(docs/service.md)",
+    )
+    p.add_argument("--port", type=int, default=0, metavar="PORT",
+                   help="port to bind on 127.0.0.1 (default 0 = OS picks "
+                        "a free one; the bound port is printed in the "
+                        "'listening on' stderr line)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per job (default 1 = serial; "
+                        "jobs themselves run one at a time)")
+    p.add_argument("--cache-dir", metavar="PATH",
+                   help="result cache directory (default: "
+                        "$NADROID_CACHE_DIR or ~/.cache/nadroid)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache for this daemon")
+    p.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                   help="queued jobs admitted before POSTs get HTTP 429 "
+                        "(default 8)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                   help="default per-app deadline for jobs that do not "
+                        "set their own")
+    p.add_argument("--max-retries", type=int, default=1, metavar="N",
+                   help="default re-submissions for transient faults "
+                        "(jobs may override per request)")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("cache", help="manage the on-disk result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     pp = cache_sub.add_parser(
@@ -1193,6 +1290,13 @@ def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        # Ctrl-C: the pool has already terminated and joined its worker
+        # processes on the way out (run_parallel's BaseException cleanup)
+        # and the finally below flushes the event stream and closes any
+        # live servers; all that is left is the conventional exit code.
+        print("nadroid: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except FaultError as exc:
         # fail-fast (the default): one app's fault aborted the run
         print(f"nadroid: error: {exc}", file=sys.stderr)

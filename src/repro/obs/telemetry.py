@@ -32,7 +32,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .events import percentile
 from .exporters import prometheus_text
@@ -42,6 +42,21 @@ from .metrics import merge_snapshots, MetricsSnapshot
 #: internals beyond loopback is an operator decision this module
 #: deliberately does not offer
 TELEMETRY_HOST = "127.0.0.1"
+
+
+class LoopbackHTTPServer(ThreadingHTTPServer):
+    """The HTTP server base for every nadroid endpoint (telemetry and
+    the ``repro serve`` daemon).
+
+    ``allow_reuse_address`` is pinned on explicitly: back-to-back runs
+    (CI re-invocations, daemon restarts) must be able to rebind a port
+    still in ``TIME_WAIT`` instead of flaking with ``EADDRINUSE``.
+    Handler threads are daemonic so a hung client can never block
+    process exit.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
 
 
 class LiveAggregator:
@@ -190,6 +205,30 @@ class LiveAggregator:
         return prometheus_text(self.snapshot())
 
 
+def telemetry_response(
+    aggregator: LiveAggregator, path: str,
+) -> Optional[Tuple[int, str, str]]:
+    """Route one GET path to its ``(status, content_type, body)``.
+
+    The shared routing table behind both the ``--serve-telemetry``
+    endpoint and the ``repro serve`` daemon (which mounts the same
+    aggregator next to its job API).  Returns ``None`` for paths this
+    surface does not own, so callers can layer their own routes.
+    """
+    if path == "/metrics":
+        return (200, "text/plain; version=0.0.4; charset=utf-8",
+                aggregator.prometheus())
+    if path == "/healthz":
+        ok = aggregator.healthy()
+        return (200 if ok else 503, "text/plain; charset=utf-8",
+                "ok\n" if ok else "unhealthy\n")
+    if path == "/progress":
+        body = json.dumps(aggregator.progress(), sort_keys=True,
+                          indent=2) + "\n"
+        return (200, "application/json; charset=utf-8", body)
+    return None
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes GETs to the aggregator; silent (no stderr access logs)."""
 
@@ -206,19 +245,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         aggregator = self.server.aggregator  # type: ignore[attr-defined]
         path = self.path.split("?", 1)[0]
-        if path == "/metrics":
-            self._send(200, "text/plain; version=0.0.4; charset=utf-8",
-                       aggregator.prometheus())
-        elif path == "/healthz":
-            status = 200 if aggregator.healthy() else 503
-            self._send(status, "text/plain; charset=utf-8",
-                       "ok\n" if status == 200 else "unhealthy\n")
-        elif path == "/progress":
-            body = json.dumps(aggregator.progress(), sort_keys=True,
-                              indent=2) + "\n"
-            self._send(200, "application/json; charset=utf-8", body)
-        else:
-            self._send(404, "text/plain; charset=utf-8", "not found\n")
+        response = telemetry_response(aggregator, path)
+        if response is None:
+            response = (404, "text/plain; charset=utf-8", "not found\n")
+        self._send(*response)
 
     def log_message(self, format: str, *args: Any) -> None:
         """Suppressed: request logs would race the run's own stderr."""
@@ -234,7 +264,7 @@ class TelemetryServer:
     def __init__(self, aggregator: LiveAggregator, port: int = 0) -> None:
         self.aggregator = aggregator
         self.requested_port = int(port)
-        self._server: Optional[ThreadingHTTPServer] = None
+        self._server: Optional[LoopbackHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -249,11 +279,10 @@ class TelemetryServer:
 
     def start(self) -> "TelemetryServer":
         """Bind and serve on a daemon thread; raises ``OSError`` when the
-        port is taken."""
-        server = ThreadingHTTPServer(
+        port is taken (``port=0`` always binds: the OS picks one)."""
+        server = LoopbackHTTPServer(
             (TELEMETRY_HOST, self.requested_port), _Handler
         )
-        server.daemon_threads = True
         server.aggregator = self.aggregator  # type: ignore[attr-defined]
         self._server = server
         self._thread = threading.Thread(

@@ -195,6 +195,13 @@ def _child_main(conn, kind: str, name: str, params: Dict[str, Any]) -> None:
     try:
         envelope = execute_app_task_observed(kind, name, params)
         conn.send(("ok", envelope))
+    except KeyboardInterrupt:
+        # A terminal Ctrl-C delivers SIGINT to the whole process group,
+        # so every worker gets one alongside the parent.  Exit quietly
+        # -- the parent is aborting anyway and classifies the EOF as a
+        # lost worker; re-raising would spray one multiprocessing
+        # traceback per live worker over the user's terminal.
+        pass
     except Exception as exc:
         from . import current_stage
 

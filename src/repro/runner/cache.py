@@ -115,10 +115,13 @@ class ResultCache:
         return payload
 
     def prune(self, everything: bool = False) -> int:
-        """Delete quarantined ``.json.corrupt`` files; with
+        """Delete quarantined ``.json.corrupt`` files and orphaned
+        ``.tmp`` spool files (a writer killed mid-store leaves its temp
+        sibling behind; harmless -- lookups never see it -- but a
+        daemon-lifetime cache would accumulate them forever); with
         ``everything``, delete regular entries too.  Returns the number
         of files removed."""
-        patterns = ["*/*.json.corrupt"]
+        patterns = ["*/*.json.corrupt", "*/*.tmp"]
         if everything:
             patterns.append("*/*.json")
         removed = 0
@@ -132,6 +135,16 @@ class ResultCache:
         return removed
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically publish one entry.
+
+        The payload is spooled to a same-directory ``.tmp`` sibling,
+        fsync'd, and ``os.replace``'d into place, so a writer killed at
+        *any* instant (timeout watchdog, ``kill`` fault action, SIGINT
+        on a daemon) can never leave a torn ``<key>.json`` behind --
+        readers see either the old entry or the complete new one.
+        ``tests/resilience/test_cache_atomic.py`` kills a writer
+        mid-store to pin this.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         stamped = {"schema": CACHE_SCHEMA, **payload}
@@ -141,6 +154,11 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(stamped, handle, separators=(",", ":"))
+                handle.flush()
+                # without the fsync a rename can outlive its data on a
+                # power loss, materializing exactly the torn entry the
+                # tmp+replace dance exists to prevent
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

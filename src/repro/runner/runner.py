@@ -99,6 +99,19 @@ def _task_gen_timing(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
     return {"timings": dict(result.timings)}
 
 
+def _task_analyze(app_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """One service/CLI analysis job unit: sources arrive *in* the params
+    (``{"sources": {app: [[path, text], ...]}}``) instead of being
+    resolved from the corpus registry -- the ``repro serve`` daemon feeds
+    request bodies through here."""
+    from ..core import analyze_app
+    from .serialize import result_data_to_dict, result_to_data
+
+    files = [tuple(entry) for entry in params["sources"][app_name]]
+    result = analyze_app(files, config=params.get("config"))
+    return {"result": result_data_to_dict(result_to_data(result))}
+
+
 _TASKS = {
     "table1": _task_table1,
     "figure5": _task_figure5,
@@ -107,6 +120,7 @@ _TASKS = {
     "timing": _task_timing,
     "generated": _task_generated,
     "gen-timing": _task_gen_timing,
+    "analyze": _task_analyze,
 }
 
 TASK_KINDS = tuple(sorted(_TASKS))
@@ -164,6 +178,15 @@ def _envelope_snapshot(envelope: Dict[str, Any]) -> Optional[MetricsSnapshot]:
 
 def _source_for(kind: str, app_name: str, params: Dict[str, Any]) -> str:
     """The source text whose content addresses this task's cache entry."""
+    if kind == "analyze":
+        # Request-supplied sources (the service path): the canonical
+        # concatenation of every file's path and text, so any edit -- or
+        # a rename -- re-analyzes, while the same app posted in a
+        # different batch (or by a different client) still hits.
+        return "\x00".join(
+            f"{path}\n{text}"
+            for path, text in params["sources"][app_name]
+        )
     if kind == "table2":
         from ..corpus.injector import injected_source
 
@@ -309,7 +332,10 @@ class CorpusRunner:
             "config": config_fingerprint(params.get("config"))
         }
         for name, value in params.items():
-            if name != "config":
+            # "sources" is content-addressed per app via _source_for;
+            # hashing the whole map here would key every entry on its
+            # *batch* composition and defeat cross-request cache hits.
+            if name not in ("config", "sources"):
                 out[name] = value
         # An active fault-injection plan changes analysis outcomes, so
         # its digest joins the key: injected results can never poison --

@@ -1,0 +1,40 @@
+"""``repro serve``: the analysis daemon (``docs/service.md``).
+
+The package splits along the same seam as the rest of the repo:
+:mod:`repro.service.jobs` is the pure job layer (specs, execution,
+results -- shared with the CLI so daemon artifacts stay byte-identical
+to ``repro analyze``), and :mod:`repro.service.server` is the scheduler
+plus the loopback HTTP front.
+"""
+
+from .jobs import (
+    AppSource,
+    execute_job,
+    JobResult,
+    JobSpec,
+    JobSpecError,
+    SINGLE_APP_NAME,
+    single_app_report,
+)
+from .server import (
+    AnalysisService,
+    DEFAULT_QUEUE_LIMIT,
+    Job,
+    QueueFullError,
+    ServiceServer,
+)
+
+__all__ = [
+    "AnalysisService",
+    "AppSource",
+    "DEFAULT_QUEUE_LIMIT",
+    "execute_job",
+    "Job",
+    "JobResult",
+    "JobSpec",
+    "JobSpecError",
+    "QueueFullError",
+    "ServiceServer",
+    "SINGLE_APP_NAME",
+    "single_app_report",
+]

@@ -1,0 +1,267 @@
+"""The job layer: "one analysis job" separated from "one CLI invocation".
+
+Historically the unit of work was a CLI process: ``repro analyze`` read
+files, ran the pipeline, rendered, and exited.  The ``repro serve``
+daemon needs the same unit *without* the process -- specified by a
+request body, scheduled onto the resilience pool, cached, and rendered
+into the same artifacts.  This module is that seam:
+
+* :class:`AppSource` / :class:`JobSpec` -- a self-contained description
+  of one job: which apps (each a named bundle of MiniDroid sources),
+  which :class:`~repro.core.AnalysisConfig` knobs, and which fault
+  policy.  Specs are plain data; they serialize to/from the JSON the
+  service API accepts.
+* :func:`execute_job` -- run a spec on a :class:`~repro.runner
+  .CorpusRunner` (the existing process-per-task pool + content-addressed
+  cache) and assemble a :class:`JobResult`.
+* :class:`JobResult` -- the job's report (byte-identical to the
+  ``repro analyze --report-out`` artifact for single-app specs), SARIF,
+  run stats and structured faults.
+
+Byte-identity contract: for a single-app spec, :meth:`JobResult
+.report_json` equals the file ``repro analyze FILE... --report-out``
+writes, byte for byte, regardless of daemon ``--jobs`` or cache
+temperature (``tests/service`` pins this over the full 27-app corpus).
+Both paths build their report through :func:`single_app_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import AnalysisConfig
+from ..race.detector import DetectorOptions
+from ..report import (
+    build_app_report,
+    build_report,
+    fault_app_report,
+    report_to_dict,
+    report_to_json,
+    report_to_sarif,
+)
+from ..resilience import FaultPolicy
+from ..runner.serialize import result_data_from_dict
+
+#: engines the job layer accepts (mirrors the CLI --engine choices)
+ENGINES = ("datalog", "imperative")
+
+#: the app key single-app jobs report under -- the same constant the
+#: ``repro analyze`` path uses, so the two artifacts line up byte-wise
+SINGLE_APP_NAME = "app"
+
+
+class JobSpecError(ValueError):
+    """A request described an invalid job (bad engine, empty sources...)."""
+
+
+@dataclass(frozen=True)
+class AppSource:
+    """One application: a name plus its (path, text) source files."""
+
+    name: str
+    files: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any],
+                  name: Optional[str] = None) -> "AppSource":
+        app_name = name if name is not None else payload.get("name")
+        if not app_name or not isinstance(app_name, str):
+            raise JobSpecError("every app needs a non-empty string name")
+        files = payload.get("files")
+        if not isinstance(files, list) or not files:
+            raise JobSpecError(
+                f"app {app_name!r}: 'files' must be a non-empty list of "
+                f"{{path, text}} objects"
+            )
+        pairs: List[Tuple[str, str]] = []
+        for entry in files:
+            if not isinstance(entry, dict) \
+                    or not isinstance(entry.get("path"), str) \
+                    or not isinstance(entry.get("text"), str):
+                raise JobSpecError(
+                    f"app {app_name!r}: each file needs string 'path' "
+                    f"and 'text' fields"
+                )
+            pairs.append((entry["path"], entry["text"]))
+        return cls(name=app_name, files=tuple(pairs))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything that determines one analysis job's outcome."""
+
+    apps: Tuple[AppSource, ...]
+    k: int = 2
+    engine: str = "datalog"
+    client: str = "anonymous"
+    #: per-job deadline/retry policy (``None`` timeout = no deadline)
+    timeout: Optional[float] = None
+    max_retries: int = 1
+    #: also render SARIF for this job
+    sarif: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise JobSpecError("a job needs at least one app")
+        if self.engine not in ENGINES:
+            raise JobSpecError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.k < 0:
+            raise JobSpecError("k must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise JobSpecError("timeout must be a positive number of seconds")
+        if self.max_retries < 0:
+            raise JobSpecError("max_retries must be >= 0")
+        names = [app.name for app in self.apps]
+        if len(set(names)) != len(names):
+            raise JobSpecError("app names within a job must be unique")
+
+    def config(self) -> AnalysisConfig:
+        return AnalysisConfig(
+            k=self.k, detector=DetectorOptions(engine=self.engine)
+        )
+
+    def policy(self) -> FaultPolicy:
+        """Per-job fault policy: a daemon always keeps going -- one bad
+        app costs a structured fault entry, never the whole job."""
+        return FaultPolicy(timeout=self.timeout,
+                           max_retries=self.max_retries,
+                           keep_going=True)
+
+    @classmethod
+    def from_request(cls, payload: Dict[str, Any],
+                     batch: bool) -> "JobSpec":
+        """Build a spec from a ``POST /v1/analyze`` (or ``/v1/batch``)
+        JSON body.  Raises :class:`JobSpecError` on malformed input."""
+        if not isinstance(payload, dict):
+            raise JobSpecError("request body must be a JSON object")
+        if batch:
+            entries = payload.get("apps")
+            if not isinstance(entries, list) or not entries:
+                raise JobSpecError(
+                    "'apps' must be a non-empty list of "
+                    "{name, files} objects"
+                )
+            apps = tuple(AppSource.from_dict(entry) for entry in entries)
+        else:
+            # single-app jobs report under the CLI's app key so the
+            # daemon artifact is byte-identical to `repro analyze`
+            apps = (AppSource.from_dict(payload, name=SINGLE_APP_NAME),)
+        client = payload.get("client", "anonymous")
+        if not isinstance(client, str) or not client:
+            raise JobSpecError("'client' must be a non-empty string")
+        try:
+            k = int(payload.get("k", 2))
+            max_retries = int(payload.get("max_retries", 1))
+            timeout = payload.get("timeout")
+            timeout = None if timeout is None else float(timeout)
+        except (TypeError, ValueError) as exc:
+            raise JobSpecError(f"bad numeric field: {exc}") from exc
+        return cls(
+            apps=apps,
+            k=k,
+            engine=payload.get("engine", "datalog"),
+            client=client,
+            timeout=timeout,
+            max_retries=max_retries,
+            sarif=bool(payload.get("sarif", False)),
+        )
+
+
+@dataclass
+class JobResult:
+    """What one executed job produced."""
+
+    #: the assembled run report (model object; exporters hang off it)
+    report: Any
+    #: fan-out/cache behaviour: analyzed/cached/faulted/retries plus the
+    #: cache hit/miss/store counters -- the warm-path evidence
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: structured fault records, in input-app order
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: whether SARIF was requested for this job
+    sarif: bool = False
+
+    def report_json(self) -> str:
+        """Canonical report text -- the exact bytes ``--report-out``
+        writes for the same sources."""
+        return report_to_json(self.report)
+
+    def report_dict(self) -> Dict[str, Any]:
+        return report_to_dict(self.report)
+
+    def sarif_dict(self) -> Optional[Dict[str, Any]]:
+        return report_to_sarif(self.report) if self.sarif else None
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-app funnel counts (the quick-look summary in job status)."""
+        return {
+            name: dict(app.counts)
+            for name, app in sorted(self.report.apps.items())
+        }
+
+
+def single_app_report(result, source: Optional[str], metrics=None):
+    """The one-app :class:`~repro.report.AnalysisReport` of a single
+    analysis: app keyed :data:`SINGLE_APP_NAME`, sourced at the first
+    input path.  ``repro analyze``/``explain`` build their report here;
+    the daemon's single-app jobs use the same app key (via
+    :meth:`JobSpec.from_request`) and the same ``build_app_report``
+    projection, so the two artifacts cannot drift apart byte-wise."""
+    return build_report([
+        build_app_report(SINGLE_APP_NAME, result, source=source,
+                         metrics=metrics)
+    ])
+
+
+def execute_job(spec: JobSpec, runner) -> JobResult:
+    """Run one job on a :class:`~repro.runner.CorpusRunner`.
+
+    The runner provides everything the daemon needs per job: the
+    process-per-task pool (``jobs`` fan-out within the job), the
+    content-addressed cache (cross-job warm path), fault isolation under
+    the spec's policy, and per-app metrics snapshots for the report.
+    """
+    params: Dict[str, Any] = {
+        "config": spec.config(),
+        "sources": {
+            app.name: [list(pair) for pair in app.files]
+            for app in spec.apps
+        },
+    }
+    names = [app.name for app in spec.apps]
+    payloads, stats = runner.run("analyze", names, params)
+    metrics = runner.last_metrics
+    per_app = metrics.apps if metrics is not None else {}
+
+    app_reports = []
+    faults: List[Dict[str, Any]] = []
+    for app, payload in zip(spec.apps, payloads):
+        if "error" in payload:
+            faults.append(dict(payload["error"]))
+            app_reports.append(fault_app_report(payload["error"]))
+            continue
+        result = result_data_from_dict(payload["result"])
+        app_reports.append(build_app_report(
+            app.name,
+            result,
+            source=app.files[0][0],
+            metrics=per_app.get(app.name),
+        ))
+    report = build_report(app_reports)
+    return JobResult(
+        report=report,
+        stats={
+            "analyzed": stats.analyzed,
+            "cached": stats.cached,
+            "faulted": stats.faulted,
+            "retries": stats.retries,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_stores": stats.cache_stores,
+        },
+        faults=faults,
+        sarif=spec.sarif,
+    )

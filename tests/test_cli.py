@@ -575,7 +575,7 @@ def test_corpus_serve_telemetry_live_endpoint(monkeypatch, capsys):
                  "--serve-telemetry", "0"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "[telemetry] serving on http://127.0.0.1:" in captured.err
+    assert "[telemetry] listening on 127.0.0.1:" in captured.err
     assert probes["healthz"] == (200, "ok\n")
     status, metrics = probes["metrics"]
     assert status == 200
@@ -593,3 +593,52 @@ def test_serve_telemetry_rejects_bad_port(capsys):
                  "--serve-telemetry", "70000"])
     assert code == 2
     assert "--serve-telemetry" in capsys.readouterr().err
+
+
+def test_serve_prints_listening_line_and_interrupt_exits_130(
+        monkeypatch, capsys, tmp_path):
+    """`repro serve` binds, announces its port machine-readably, and a
+    Ctrl-C lands as the conventional 128+SIGINT exit code."""
+    import repro.service.server as server_mod
+
+    def interrupted_serve_forever(self):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(server_mod.ServiceServer, "serve_forever",
+                        interrupted_serve_forever)
+    code = main(["serve", "--port", "0",
+                 "--cache-dir", str(tmp_path / "cache")])
+    err = capsys.readouterr().err
+    assert code == 130
+    assert "[serve] listening on 127.0.0.1:" in err
+    assert "nadroid: interrupted" in err
+
+
+@pytest.mark.parametrize("flags, needle", [
+    (["--port", "70000"], "--port"),
+    (["--queue-limit", "0"], "--queue-limit"),
+    (["--jobs", "0"], "--jobs"),
+    (["--timeout", "0"], "--timeout"),
+    (["--max-retries", "-1"], "--max-retries"),
+])
+def test_serve_rejects_bad_flags(flags, needle, capsys):
+    code = main(["serve", "--no-cache"] + flags)
+    assert code == 2
+    assert needle in capsys.readouterr().err
+
+
+def test_keyboard_interrupt_exits_130_and_flushes_events(
+        monkeypatch, capsys, tmp_path):
+    def interrupted_run(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.harness.run_table1", interrupted_run)
+    events = tmp_path / "events.jsonl"
+    code = main(["corpus", "--apps", "todolist", "--no-cache",
+                 "--events-out", str(events)])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert "nadroid: interrupted" in captured.err
+    # the event stream was closed (and announced) on the way out
+    assert f"[events] wrote {events}" in captured.err
+    assert events.exists()
